@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Config Driver Finder Format Heuristic Link List Sim Stats Suite Survivor Workloads

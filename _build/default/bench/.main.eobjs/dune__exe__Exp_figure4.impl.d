@@ -1,0 +1,1 @@
+bench/exp_figure4.ml: Driver Format List Printf Sim Stats Suite Workloads

@@ -1,0 +1,1 @@
+bench/exp_heuristic.ml: Format Heuristic Int64 List Profile Suite Workload Workloads

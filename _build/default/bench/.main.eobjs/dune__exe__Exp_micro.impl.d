@@ -1,0 +1,1 @@
+bench/exp_micro.ml: Analyze Attack Bechamel Benchmark Config Driver Format Hashtbl Instance Link Measure Population Staged Suite Survivor Test Time Toolkit Workloads

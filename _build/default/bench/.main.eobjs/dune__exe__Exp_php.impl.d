@@ -1,0 +1,1 @@
+bench/exp_php.ml: Attack Config Driver Finder Format Link List Phpvm String Suite Survivor Workload Workloads

@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Finder Format Link List Stats Suite Survivor Workloads

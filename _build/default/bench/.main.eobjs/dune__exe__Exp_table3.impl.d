@@ -1,0 +1,1 @@
+bench/exp_table3.ml: Format List Population Printf Suite Workload Workloads

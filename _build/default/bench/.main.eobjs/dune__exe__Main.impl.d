@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_figure4 Exp_heuristic Exp_micro Exp_php Exp_table1 Exp_table2 Exp_table3 Format List String Suite Sys Unix

@@ -1,0 +1,1 @@
+bench/suite.ml: Config Driver Format Hashtbl Link List Profile String Workload

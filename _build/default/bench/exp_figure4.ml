@@ -1,0 +1,63 @@
+(* Figure 4: SPEC CPU 2006 performance overhead of NOP insertion — the
+   slowdown of each configuration relative to the undiversified baseline,
+   per benchmark plus the geometric mean.
+
+   Protocol (paper §5.1): profile on the train input, measure on ref,
+   average several randomized versions.  The paper uses 5 versions x 3
+   runs on hardware; our simulator is deterministic so each version runs
+   once. *)
+
+type row = { bench : string; overheads : (string * float) list }
+
+let measure_row p =
+  let w = p.Suite.workload in
+  let base = Driver.run_image p.baseline ~args:w.ref_args in
+  let overheads =
+    List.map
+      (fun (cname, config) ->
+        let cycles =
+          List.init !Suite.perf_versions (fun v ->
+              let r = Suite.run_version p config v ~args:w.ref_args in
+              if r.Sim.output <> base.Sim.output then
+                failwith
+                  (Printf.sprintf "figure4: %s/%s version %d output mismatch"
+                     w.name cname v);
+              r.Sim.cycles)
+        in
+        let avg = Stats.mean cycles in
+        (cname, Suite.pct ((avg /. base.Sim.cycles) -. 1.0)))
+      Suite.configs
+  in
+  { bench = w.name; overheads }
+
+let run () =
+  Format.printf
+    "@.Figure 4: SPEC CPU 2006 performance overhead of NOP insertion \
+     (slowdown %%)@.";
+  Suite.hr Format.std_formatter;
+  Format.printf "%-16s" "Benchmark";
+  List.iter (fun c -> Format.printf "%10s" c) Suite.config_names;
+  Format.printf "@.";
+  let rows =
+    List.map
+      (fun w ->
+        let p = Suite.prepared w in
+        let row = measure_row p in
+        Format.printf "%-16s" row.bench;
+        List.iter (fun (_, o) -> Format.printf "%9.2f%%" o) row.overheads;
+        Format.printf "@.";
+        row)
+      Workloads.all
+  in
+  (* Geometric mean of the slowdown factors, reported as overhead %. *)
+  Format.printf "%-16s" "Geometric Mean";
+  List.iter
+    (fun cname ->
+      let factors =
+        List.map
+          (fun r -> 1.0 +. (List.assoc cname r.overheads /. 100.0))
+          rows
+      in
+      Format.printf "%9.2f%%" (Suite.pct (Stats.geomean_ratio factors -. 1.0)))
+    Suite.config_names;
+  Format.printf "@."

@@ -1,0 +1,10 @@
+(* Table 1: the NOP candidate instructions, their encodings and the
+   decoding of their second bytes. *)
+
+let run () =
+  Format.printf "@.Table 1: NOP insertion candidate instructions@.";
+  Suite.hr Format.std_formatter;
+  Nops.pp_table Format.std_formatter ();
+  Format.printf
+    "(default insertion set excludes the XCHG candidates: they lock the \
+     memory bus)@."

@@ -1,0 +1,43 @@
+(* Table 3: gadgets surviving at the same location in at least 2, 5, and
+   12 of the 25 diversified versions, per configuration — the
+   attack-a-subset analysis.  The original binary is not part of the
+   population. *)
+
+let thresholds = [ 2; 5; 12 ]
+
+let run () =
+  Format.printf
+    "@.Table 3: gadgets surviving in at least k of %d versions@."
+    Suite.security_population;
+  Suite.hr Format.std_formatter;
+  Format.printf "%-16s" "Benchmark";
+  List.iter
+    (fun k ->
+      List.iter
+        (fun c -> Format.printf "%10s" (Printf.sprintf ">=%d %s" k c))
+        Suite.config_names)
+    thresholds;
+  Format.printf "@.";
+  List.iter
+    (fun w ->
+      let p = Suite.prepared w in
+      let reports =
+        List.map
+          (fun (cname, config) ->
+            let texts =
+              Suite.texts_of_population p config Suite.security_population
+            in
+            (cname, Population.analyze ~thresholds texts))
+          Suite.configs
+      in
+      Format.printf "%-16s" w.Workload.name;
+      List.iter
+        (fun k ->
+          List.iter
+            (fun cname ->
+              let report = List.assoc cname reports in
+              Format.printf "%10d" (List.assoc k report.Population.at_least))
+            Suite.config_names)
+        thresholds;
+      Format.printf "@.")
+    Workloads.all

@@ -1,0 +1,59 @@
+(* The evaluation harness: regenerates every table and figure of the
+   paper's evaluation, plus heuristic analysis, ablations, and Bechamel
+   microbenchmarks of the underlying kernels.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- figure4      # one experiment
+     dune exec bench/main.exe -- --versions 5 figure4
+
+   Experiments: table1 figure4 table2 table3 php-attack heuristic
+   ablation micro *)
+
+let experiments =
+  [
+    ("table1", Exp_table1.run);
+    ("heuristic", Exp_heuristic.run);
+    ("figure4", Exp_figure4.run);
+    ("table2", Exp_table2.run);
+    ("table3", Exp_table3.run);
+    ("php-attack", Exp_php.run);
+    ("ablation", Exp_ablation.run);
+    ("micro", Exp_micro.run);
+  ]
+
+let usage () =
+  Format.printf "usage: main.exe [--versions N] [experiment...]@.";
+  Format.printf "experiments: %s@."
+    (String.concat " " (List.map fst experiments));
+  exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse selected = function
+    | [] -> List.rev selected
+    | "--versions" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v > 0 ->
+            Suite.perf_versions := v;
+            parse selected rest
+        | _ -> usage ())
+    | ("-h" | "--help") :: _ -> usage ()
+    | name :: rest ->
+        if List.mem_assoc name experiments then parse (name :: selected) rest
+        else begin
+          Format.printf "unknown experiment %S@." name;
+          usage ()
+        end
+  in
+  let selected = parse [] args in
+  let to_run =
+    match selected with [] -> List.map fst experiments | l -> l
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      let t = Unix.gettimeofday () in
+      (List.assoc name experiments) ();
+      Format.printf "[%s finished in %.1fs]@." name (Unix.gettimeofday () -. t))
+    to_run;
+  Format.printf "@.total: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,49 @@
+(* Shared plumbing for the evaluation harness: compile-and-profile each
+   workload once, cache the result, and provide the paper's parameters. *)
+
+type prepared = {
+  workload : Workload.t;
+  compiled : Driver.compiled;
+  profile : Profile.t;
+  baseline : Link.image;
+}
+
+let prepare (w : Workload.t) =
+  let compiled = Driver.compile ~name:w.name w.source in
+  let profile = Driver.train compiled ~args:w.train_args in
+  let baseline = Driver.link_baseline compiled in
+  { workload = w; compiled; profile; baseline }
+
+let cache : (string, prepared) Hashtbl.t = Hashtbl.create 32
+
+let prepared w =
+  match Hashtbl.find_opt cache w.Workload.name with
+  | Some p -> p
+  | None ->
+      let p = prepare w in
+      Hashtbl.replace cache w.Workload.name p;
+      p
+
+let configs = Config.paper_configs
+let config_names = List.map fst configs
+
+(* The paper builds 25 versions for the security tables and 5 for the
+   performance figure (3 runs each; our simulator is deterministic, so
+   re-running a version is pointless and we run each once). *)
+let security_population = 25
+let perf_versions = ref 3
+
+let run_version p config version ~args =
+  let image, _ =
+    Driver.diversify p.compiled ~config ~profile:p.profile ~version
+  in
+  Driver.run_image image ~args
+
+let texts_of_population p config n =
+  List.map
+    (fun (img : Link.image) -> img.Link.text)
+    (Driver.population p.compiled ~config ~profile:p.profile ~n)
+
+let pct x = x *. 100.0
+
+let hr ppf = Format.fprintf ppf "%s@." (String.make 78 '-')

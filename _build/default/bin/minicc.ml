@@ -1,0 +1,275 @@
+(* minicc — the diversifying MiniC compiler, as a command-line tool.
+
+   The full paper workflow is expressible from the shell:
+
+     minicc compile prog.mc -o prog.bin           # undiversified build
+     minicc run prog.bin --args 5,10              # simulate
+     minicc profile prog.mc --args 5,10 -o prog.prof
+     minicc diversify prog.mc --profile prog.prof --config p0-30 \
+            --variant 3 -o prog.div.bin
+     minicc gadgets prog.bin                      # gadget census
+     minicc survivor prog.bin prog.div.bin        # Survivor comparison
+     minicc attack prog.bin --scanner ropgadget   # feasibility check
+     minicc disas prog.bin                        # disassembly listing
+     minicc workload 473.astar --ref              # run a suite program *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_args s =
+  if String.trim s = "" then []
+  else
+    List.map
+      (fun tok ->
+        match Int32.of_string_opt (String.trim tok) with
+        | Some v -> v
+        | None -> failwith ("bad integer argument: " ^ tok))
+      (String.split_on_char ',' s)
+
+let parse_config name =
+  match List.assoc_opt name Config.paper_configs with
+  | Some c -> c
+  | None -> (
+      (* also accept "uniform:0.4" and "range:0.1:0.5" *)
+      match String.split_on_char ':' name with
+      | [ "uniform"; p ] -> Config.uniform (float_of_string p)
+      | [ "range"; lo; hi ] ->
+          Config.profiled ~pmin:(float_of_string lo)
+            ~pmax:(float_of_string hi) ()
+      | _ ->
+          failwith
+            (Printf.sprintf
+               "unknown config %S (use p50 p30 p25-50 p10-50 p0-30, \
+                uniform:P or range:LO:HI)"
+               name))
+
+let compile_source ~opt path =
+  let level =
+    match Pipeline.level_of_string opt with
+    | Some l -> l
+    | None -> failwith ("unknown optimization level " ^ opt)
+  in
+  Driver.compile ~opt:level ~name:(Filename.basename path) (read_file path)
+
+(* ---- common arguments ---- *)
+
+let source_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE")
+
+let output_arg ~default =
+  Arg.(value & opt string default & info [ "o"; "output" ] ~docv:"FILE")
+
+let args_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "args" ] ~docv:"INTS" ~doc:"Comma-separated program arguments.")
+
+let opt_arg =
+  Arg.(
+    value & opt string "O2"
+    & info [ "opt" ] ~docv:"LEVEL" ~doc:"Optimization level (O0, O1, O2).")
+
+(* ---- commands ---- *)
+
+let compile_cmd =
+  let run source output opt =
+    let c = compile_source ~opt source in
+    let image = Driver.link_baseline c in
+    Link.save image output;
+    Format.printf "%s: %d bytes of .text, %d functions@." output
+      (String.length image.Link.text)
+      (List.length image.Link.symbols)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile MiniC to an undiversified binary image.")
+    Term.(const run $ source_arg $ output_arg ~default:"a.bin" $ opt_arg)
+
+let run_cmd =
+  let run binary args =
+    let image = Link.load binary in
+    let r = Driver.run_image image ~args:(parse_args args) in
+    print_string r.Sim.output;
+    Format.printf "[status %ld, %Ld instructions, %.0f cycles]@." r.Sim.status
+      r.Sim.instructions r.Sim.cycles
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a binary image in the CPU simulator.")
+    Term.(const run $ source_arg $ args_arg)
+
+let profile_cmd =
+  let run source output args opt =
+    let c = compile_source ~opt source in
+    let profile = Driver.train c ~args:(parse_args args) in
+    let oc = open_out output in
+    output_string oc (Profile.to_string profile);
+    close_out oc;
+    Format.printf "%s: max block count %Ld@." output
+      (Profile.max_count profile)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run the training input and write the execution profile.")
+    Term.(
+      const run $ source_arg $ output_arg ~default:"a.prof" $ args_arg
+      $ opt_arg)
+
+let diversify_cmd =
+  let profile_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "profile" ] ~docv:"FILE" ~doc:"Execution profile (from $(b,profile)).")
+  in
+  let config_arg =
+    Arg.(
+      value & opt string "p0-30"
+      & info [ "config" ] ~docv:"NAME"
+          ~doc:"Configuration: p50 p30 p25-50 p10-50 p0-30, uniform:P, range:LO:HI.")
+  in
+  let version_arg =
+    Arg.(value & opt int 0 & info [ "n"; "variant" ] ~docv:"N" ~doc:"Version index (seed).")
+  in
+  let run source output profile_path config version opt =
+    let c = compile_source ~opt source in
+    let profile =
+      match profile_path with
+      | Some p -> Profile.of_string (read_file p)
+      | None -> Profile.empty
+    in
+    let config = parse_config config in
+    (match config.Config.strategy with
+    | Config.Profiled _ when Profile.is_empty profile ->
+        Format.eprintf
+          "warning: profile-guided config without --profile; everything is \
+           cold@."
+    | _ -> ());
+    let image, stats = Driver.diversify c ~config ~profile ~version in
+    Link.save image output;
+    Format.printf "%s: inserted %d NOPs over %d instructions (%d bytes)@."
+      output stats.Nop_insert.nops_inserted stats.Nop_insert.insns_seen
+      stats.Nop_insert.bytes_added
+  in
+  Cmd.v
+    (Cmd.info "diversify" ~doc:"Build one diversified version of a program.")
+    Term.(
+      const run $ source_arg $ output_arg ~default:"a.div.bin" $ profile_arg
+      $ config_arg $ version_arg $ opt_arg)
+
+let gadgets_cmd =
+  let run binary =
+    let image = Link.load binary in
+    let gadgets = Finder.scan image.Link.text in
+    Format.printf "%d gadgets in %d bytes of .text@." (List.length gadgets)
+      (String.length image.Link.text);
+    let in_libc =
+      List.length
+        (List.filter
+           (fun (g : Finder.t) -> g.offset < image.Link.user_start)
+           gadgets)
+    in
+    Format.printf "  %d in the fixed runtime, %d in user code@." in_libc
+      (List.length gadgets - in_libc)
+  in
+  Cmd.v
+    (Cmd.info "gadgets" ~doc:"Count ROP gadgets in a binary image.")
+    Term.(const run $ source_arg)
+
+let survivor_cmd =
+  let div_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"DIVERSIFIED")
+  in
+  let run original diversified =
+    let o = Link.load original in
+    let d = Link.load diversified in
+    let outcome =
+      Survivor.compare_sections ~original:o.Link.text
+        ~diversified:d.Link.text ()
+    in
+    Format.printf "baseline gadgets: %d@." outcome.Survivor.baseline_gadgets;
+    Format.printf "surviving:        %d (%.2f%%)@." outcome.Survivor.surviving
+      (100.0
+      *. float_of_int outcome.Survivor.surviving
+      /. float_of_int (max 1 outcome.Survivor.baseline_gadgets))
+  in
+  Cmd.v
+    (Cmd.info "survivor"
+       ~doc:"Count gadgets surviving diversification (paper 5.2).")
+    Term.(const run $ source_arg $ div_arg)
+
+let attack_cmd =
+  let scanner_arg =
+    Arg.(
+      value
+      & opt (enum [ ("ropgadget", Attack.Ropgadget); ("micro", Attack.Microgadgets) ])
+          Attack.Ropgadget
+      & info [ "scanner" ] ~docv:"NAME" ~doc:"ropgadget or micro.")
+  in
+  let run binary scanner =
+    let image = Link.load binary in
+    let v = Attack.attack scanner image.Link.text in
+    Format.printf "scanner: %s@." (Attack.scanner_name v.Attack.scanner);
+    List.iter
+      (fun (c, n) ->
+        Format.printf "  %-14s %d gadgets@." (Attack.show_gadget_class c) n)
+      (List.sort compare v.Attack.classes_found);
+    if v.Attack.feasible then Format.printf "attack FEASIBLE@."
+    else begin
+      Format.printf "attack infeasible; missing:";
+      List.iter
+        (fun c -> Format.printf " %s" (Attack.show_gadget_class c))
+        v.Attack.missing;
+      Format.printf "@."
+    end
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Judge ROP-attack feasibility against a binary.")
+    Term.(const run $ source_arg $ scanner_arg)
+
+let disas_cmd =
+  let run binary =
+    let image = Link.load binary in
+    List.iter
+      (fun (name, off) -> Format.printf "%8x  <%s>@." off name)
+      (List.sort (fun (_, a) (_, b) -> compare a b) image.Link.symbols);
+    Format.printf "@.";
+    Decode.pp_listing Format.std_formatter image.Link.text
+  in
+  Cmd.v
+    (Cmd.info "disas" ~doc:"Disassemble a binary image.")
+    Term.(const run $ source_arg)
+
+let workload_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+  in
+  let ref_arg =
+    Arg.(value & flag & info [ "ref" ] ~doc:"Use the ref input (default: train).")
+  in
+  let run name use_ref =
+    let w = Workloads.find name in
+    let c = Driver.compile ~name:w.Workload.name w.source in
+    let args = if use_ref then w.ref_args else w.train_args in
+    let r = Driver.run_image (Driver.link_baseline c) ~args in
+    print_string r.Sim.output;
+    Format.printf "[%s %s: status %ld, %Ld instructions]@." w.name
+      (if use_ref then "ref" else "train")
+      r.Sim.status r.Sim.instructions
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Run a benchmark-suite program by name.")
+    Term.(const run $ name_arg $ ref_arg)
+
+let () =
+  let doc = "profile-guided software diversity compiler (CGO'13 reproduction)" in
+  let info = Cmd.info "minicc" ~version:"1.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            compile_cmd; run_cmd; profile_cmd; diversify_cmd; gadgets_cmd;
+            survivor_cmd; attack_cmd; disas_cmd; workload_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/gadget_removal.ml: Decode Encode Finder Format Insn List Reg String Survivor

@@ -1,0 +1,1 @@
+examples/gadget_removal.mli:

@@ -1,0 +1,1 @@
+examples/harden_interpreter.ml: Attack Config Driver Finder Format Link List Nop_insert Phpvm Sim String Survivor Workload Workloads

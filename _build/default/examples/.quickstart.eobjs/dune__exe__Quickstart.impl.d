@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Driver Format Ir Link List Nop_insert Profile Sim String

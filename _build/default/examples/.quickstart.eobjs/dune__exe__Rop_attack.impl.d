@@ -1,0 +1,1 @@
+examples/rop_attack.ml: Config Decode Driver Finder Format Fun Insn Int32 Link List Reg Sim String

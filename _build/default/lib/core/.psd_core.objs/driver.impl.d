@@ -1,0 +1,1 @@
+lib/core/driver.ml: Asm Config Emit Interp Ir Link List Minic Nop_insert Pipeline Profile Rng Sim

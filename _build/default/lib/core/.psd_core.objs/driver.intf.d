@@ -1,0 +1,1 @@
+lib/core/driver.mli: Asm Config Interp Ir Link Nop_insert Pipeline Profile Sim

@@ -1,0 +1,1 @@
+lib/core/heuristic.ml: Float Int64 Printf

@@ -1,0 +1,1 @@
+lib/core/nop_insert.ml: Asm Config Encode Heuristic List Nops Profile Rng

@@ -1,0 +1,1 @@
+lib/core/nop_insert.mli: Asm Config Profile Rng

@@ -1,0 +1,44 @@
+type strategy =
+  | Off
+  | Uniform of float
+  | Profiled of {
+      pmin : float;
+      pmax : float;
+      shape : Heuristic.shape;
+      scope : [ `Program | `Function ];
+    }
+
+type t = { strategy : strategy; use_xchg : bool; bb_shift : bool; seed : int64 }
+
+let off = { strategy = Off; use_xchg = false; bb_shift = false; seed = 0L }
+
+let uniform ?(seed = 0L) p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Config.uniform: p outside [0,1]";
+  { strategy = Uniform p; use_xchg = false; bb_shift = false; seed }
+
+let profiled ?(seed = 0L) ?(shape = Heuristic.Logarithmic) ?(scope = `Program)
+    ~pmin ~pmax () =
+  if pmin < 0.0 || pmax > 1.0 || pmin > pmax then
+    invalid_arg "Config.profiled: invalid range";
+  { strategy = Profiled { pmin; pmax; shape; scope }; use_xchg = false; bb_shift = false; seed }
+
+let paper_configs =
+  [
+    ("p50", uniform 0.50);
+    ("p30", uniform 0.30);
+    ("p25-50", profiled ~pmin:0.25 ~pmax:0.50 ());
+    ("p10-50", profiled ~pmin:0.10 ~pmax:0.50 ());
+    ("p0-30", profiled ~pmin:0.0 ~pmax:0.30 ());
+  ]
+
+let pct p = int_of_float ((p *. 100.0) +. 0.5)
+
+let name t =
+  let suffix = if t.bb_shift then "+shift" else "" in
+  (match t.strategy with
+  | Off -> "baseline"
+  | Uniform p -> Printf.sprintf "p%d" (pct p)
+  | Profiled { pmin; pmax; shape; _ } ->
+      Printf.sprintf "p%d-%d%s" (pct pmin) (pct pmax)
+        (match shape with Heuristic.Linear -> "-lin" | Heuristic.Logarithmic -> ""))
+  ^ suffix

@@ -1,0 +1,42 @@
+(** Diversification configuration.
+
+    Mirrors the parameter sets evaluated in the paper: uniform
+    probabilities (pNOP = 50%, 30%) and profile-guided ranges
+    (25–50%, 10–50%, 0–30%) under the logarithmic heuristic. *)
+
+type strategy =
+  | Off  (** no diversification — the baseline binary *)
+  | Uniform of float  (** one pNOP for every instruction (Algorithm 1) *)
+  | Profiled of {
+      pmin : float;
+      pmax : float;
+      shape : Heuristic.shape;
+      scope : [ `Program | `Function ];
+          (** whether x_max is the program-wide or per-function maximum
+              (the paper uses the program-wide maximum) *)
+    }
+
+type t = {
+  strategy : strategy;
+  use_xchg : bool;  (** enable the two bus-locking XCHG candidates *)
+  bb_shift : bool;
+      (** the paper's §6 extension: prepend a jumped-over dummy block of
+          random size to every function, compensating for the low
+          displacement NOP insertion achieves near the start of the
+          binary *)
+  seed : int64;  (** base seed; combined with program/version labels *)
+}
+
+val off : t
+val uniform : ?seed:int64 -> float -> t
+
+val profiled :
+  ?seed:int64 -> ?shape:Heuristic.shape -> ?scope:[ `Program | `Function ] ->
+  pmin:float -> pmax:float -> unit -> t
+
+val paper_configs : (string * t) list
+(** The five configurations of Figure 4 / Tables 2–3, in paper order:
+    ["p50"], ["p30"], ["p25-50"], ["p10-50"], ["p0-30"]. *)
+
+val name : t -> string
+(** Short display name, e.g. "p10-50". *)

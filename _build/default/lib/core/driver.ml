@@ -1,0 +1,39 @@
+type compiled = {
+  name : string;
+  modul : Ir.modul;
+  asm : Asm.func list;
+  main_arity : int;
+}
+
+let compile ?(opt = Pipeline.O2) ~name src =
+  let modul = Minic.compile_exn src in
+  let modul = Pipeline.optimize ~level:opt modul in
+  let main =
+    match Ir.find_func modul "main" with
+    | f -> f
+    | exception Not_found -> failwith ("Driver.compile: " ^ name ^ " has no main")
+  in
+  let asm = List.map Emit.compile_func modul.funcs in
+  { name; modul; asm; main_arity = List.length main.params }
+
+let train c ~args = Profile.collect c.modul ~entry:"main" ~args
+let train_many c ~args_list = Profile.collect_many c.modul ~entry:"main" ~args_list
+
+let link_baseline c =
+  Link.link ~funcs:c.asm ~globals:c.modul.globals ~main_arity:c.main_arity
+
+let diversify c ~config ~profile ~version =
+  let rng =
+    Rng.of_labels config.Config.seed
+      [ c.name; Config.name config; string_of_int version ]
+  in
+  let funcs, stats = Nop_insert.run_program ~config ~profile ~rng c.asm in
+  ( Link.link ~funcs ~globals:c.modul.globals ~main_arity:c.main_arity,
+    stats )
+
+let population c ~config ~profile ~n =
+  List.init n (fun version ->
+      fst (diversify c ~config ~profile ~version))
+
+let run_ir c ~args = Interp.run c.modul ~entry:"main" ~args
+let run_image ?fuel image ~args = Sim.run ?fuel image ~args

@@ -1,0 +1,56 @@
+(** The end-to-end diversifying compiler.
+
+    Ties the whole system together the way the paper's modified LLVM
+    does: MiniC source → IR → [-O2] optimization → instruction selection →
+    register allocation → symbolic assembly → {b NOP insertion} → layout
+    and linking against the fixed runtime.
+
+    The profiling round-trip mirrors §3.1: compile once, run the program
+    on a training input under the instrumented (reference) interpreter,
+    and feed the collected block counts to subsequent diversified
+    builds. *)
+
+type compiled = {
+  name : string;  (** program name (seed label and reporting key) *)
+  modul : Ir.modul;  (** the optimized IR *)
+  asm : Asm.func list;  (** undiversified user functions *)
+  main_arity : int;
+}
+
+val compile : ?opt:Pipeline.level -> name:string -> string -> compiled
+(** Compile MiniC source (default [-O2]).  Raises [Failure] on frontend
+    errors or if [main] is missing. *)
+
+val train : compiled -> args:int32 list -> Profile.t
+(** One profiling run on a training input. *)
+
+val train_many : compiled -> args_list:int32 list list -> Profile.t
+(** Accumulated profile over several training inputs. *)
+
+val link_baseline : compiled -> Link.image
+(** The undiversified binary. *)
+
+val diversify :
+  compiled ->
+  config:Config.t ->
+  profile:Profile.t ->
+  version:int ->
+  Link.image * Nop_insert.stats
+(** Build one diversified version.  The RNG stream is derived from
+    (config seed, program name, config name, version), so the same triple
+    always reproduces the same binary and distinct versions are
+    independent. *)
+
+val population :
+  compiled ->
+  config:Config.t ->
+  profile:Profile.t ->
+  n:int ->
+  Link.image list
+(** [n] independent versions (the paper builds 25 for Tables 2 and 3). *)
+
+val run_ir : compiled -> args:int32 list -> Interp.result
+(** Execute the optimized IR under the reference interpreter. *)
+
+val run_image : ?fuel:int64 -> Link.image -> args:int32 list -> Sim.result
+(** Execute a linked binary under the CPU simulator. *)

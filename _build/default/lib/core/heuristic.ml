@@ -1,0 +1,24 @@
+type shape = Linear | Logarithmic
+
+let check_range ~pmin ~pmax =
+  if pmin < 0.0 || pmax > 1.0 || pmin > pmax then
+    invalid_arg
+      (Printf.sprintf "Heuristic.pnop: invalid range [%g, %g]" pmin pmax)
+
+let pnop shape ~pmin ~pmax ~count ~max_count =
+  check_range ~pmin ~pmax;
+  if Int64.compare max_count 0L <= 0 then pmax
+  else
+    let x = Int64.to_float (max 0L count) in
+    let xmax = Int64.to_float max_count in
+    let fraction =
+      match shape with
+      | Linear -> x /. xmax
+      | Logarithmic -> log (1.0 +. x) /. log (1.0 +. xmax)
+    in
+    let p = pmax -. ((pmax -. pmin) *. fraction) in
+    Float.min pmax (Float.max pmin p)
+
+let paper_astar_example () =
+  pnop Logarithmic ~pmin:0.10 ~pmax:0.50 ~count:117_635L
+    ~max_count:2_000_000_000L

@@ -1,0 +1,30 @@
+(** The per-block NOP-insertion probability (paper §3.1).
+
+    Hot blocks get low probabilities, cold blocks high ones.  Two
+    interpolation shapes between [p_max] (coldest) and [p_min] (hottest):
+
+    {ul
+    {- {b linear}:
+       [p(x) = pmax - (pmax - pmin) * x / xmax].  Execution counts grow
+       multiplicatively with loop nesting, so a linear map polarizes
+       almost every block toward [p_max];}
+    {- {b logarithmic} (the paper's choice):
+       [p(x) = pmax - (pmax - pmin) * log(1+x) / log(1+xmax)], which
+       spreads intermediate counts across the whole interval.}}
+
+    Blocks with no profile data (count 0) get [p_max]: no evidence of heat
+    means free to diversify. *)
+
+type shape = Linear | Logarithmic
+
+val pnop :
+  shape -> pmin:float -> pmax:float -> count:int64 -> max_count:int64 -> float
+(** Probabilities are in [0;1].  [max_count <= 0] (no profile at all)
+    yields [pmax].  The result is clamped to [pmin;pmax] against rounding
+    slop.  Raises [Invalid_argument] if [pmin > pmax] or either is outside
+    [0;1]. *)
+
+val paper_astar_example : unit -> float
+(** The worked example from §3.1: range 10–50%, count 117,635 of a 2
+    billion maximum, log heuristic — approximately 30%.  Exercised by the
+    test suite against the paper's arithmetic. *)

@@ -1,0 +1,118 @@
+type stats = { insns_seen : int; nops_inserted : int; bytes_added : int }
+
+let zero = { insns_seen = 0; nops_inserted = 0; bytes_added = 0 }
+
+let add a b =
+  {
+    insns_seen = a.insns_seen + b.insns_seen;
+    nops_inserted = a.nops_inserted + b.nops_inserted;
+    bytes_added = a.bytes_added + b.bytes_added;
+  }
+
+(* Is this item an instruction for the purposes of Algorithm 1?  Labels
+   emit no bytes; everything else is a machine instruction. *)
+let is_insn = function Asm.Label _ -> false | _ -> true
+
+(* Labels for the jumped-over dummy blocks of the §6 extension.  Real
+   block labels come from the IR builder and stay small; this range
+   cannot collide. *)
+let shift_label_base = 1_000_000
+
+(* Basic-block shifting (paper §6): prepend "jmp past; <sled>; past:" to
+   the function, displacing everything in it — including its first
+   instructions, which plain NOP insertion barely moves. *)
+let shift_function ~rng ~candidates (f : Asm.func) =
+  let target = 1 + Rng.int rng 15 in
+  let rec sled acc len =
+    if len >= target then acc
+    else
+      let nop = Rng.choose rng candidates in
+      sled (Asm.Ins nop :: acc) (len + Encode.length nop)
+  in
+  let sled_items = sled [] 0 in
+  let bytes =
+    List.fold_left
+      (fun acc item -> acc + Asm.item_size item)
+      0 sled_items
+  in
+  let skip = shift_label_base in
+  ( {
+      f with
+      Asm.items =
+        (Asm.Jmp_sym skip :: sled_items) @ (Asm.Label skip :: f.Asm.items);
+    },
+    5 + bytes (* the jmp and the sled *) )
+
+let run_with_xmax ~config ~profile ~rng ~xmax (f : Asm.func) =
+  let candidates =
+    if config.Config.use_xchg then Nops.with_xchg else Nops.default
+  in
+  let f, shift_bytes =
+    if config.Config.bb_shift then shift_function ~rng ~candidates f
+    else (f, 0)
+  in
+  let prob_of_block label =
+    match config.Config.strategy with
+    | Config.Off -> 0.0
+    | Config.Uniform p -> p
+    | Config.Profiled { pmin; pmax; shape; scope } ->
+        let count =
+          match label with
+          | Some l -> Profile.block_count profile ~func:f.Asm.name l
+          | None -> 0L
+        in
+        let max_count =
+          match scope with
+          | `Program -> xmax
+          | `Function -> Profile.max_count_func profile f.Asm.name
+        in
+        Heuristic.pnop shape ~pmin ~pmax ~count ~max_count
+  in
+  let stats = ref { zero with bytes_added = shift_bytes } in
+  let diversified =
+    Asm.map_insns
+      (fun label item ->
+        if not (is_insn item) then [ item ]
+        else begin
+          stats := add !stats { zero with insns_seen = 1 };
+          let p = prob_of_block label in
+          (* Two sources of randomness (§3): whether to insert, and which
+             candidate to insert. *)
+          if Rng.bernoulli rng p then begin
+            let nop = Rng.choose rng candidates in
+            stats :=
+              add !stats
+                {
+                  insns_seen = 0;
+                  nops_inserted = 1;
+                  bytes_added = Encode.length nop;
+                };
+            [ Asm.Ins nop; item ]
+          end
+          else [ item ]
+        end)
+      f
+  in
+  (diversified, !stats)
+
+let run ~config ~profile ~rng f =
+  match config.Config.strategy with
+  | Config.Off -> (f, zero)
+  | _ ->
+      run_with_xmax ~config ~profile ~rng ~xmax:(Profile.max_count profile) f
+
+let run_program ~config ~profile ~rng funcs =
+  match config.Config.strategy with
+  | Config.Off -> (funcs, zero)
+  | _ ->
+      let xmax = Profile.max_count profile in
+      let total = ref zero in
+      let out =
+        List.map
+          (fun f ->
+            let f', s = run_with_xmax ~config ~profile ~rng ~xmax f in
+            total := add !total s;
+            f')
+          funcs
+      in
+      (out, !total)

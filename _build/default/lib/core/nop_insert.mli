@@ -1,0 +1,43 @@
+(** The NOP-insertion pass — Algorithm 1 of the paper, extended with the
+    profile-guided probability of §3.1.
+
+    Runs over the symbolic assembly stream (the lowered representation,
+    after all optimizations and register allocation, immediately before
+    layout — the stage the paper selects in §4).  For every instruction a
+    Bernoulli trial with the current block's pNOP decides whether to
+    prepend a NOP; on success one of the candidate NOPs (Table 1) is
+    picked uniformly.  Two independent randomness sources, exactly as in
+    §3.
+
+    Block labels in the stream carry the profile attribution: the
+    probability changes at each [Asm.Label] marker. *)
+
+type stats = {
+  insns_seen : int;  (** instructions eligible for a preceding NOP *)
+  nops_inserted : int;
+  bytes_added : int;
+}
+
+val shift_label_base : int
+(** Labels at or above this value mark the jumped-over dummy blocks the
+    §6 basic-block-shifting extension inserts; they never collide with
+    IR block labels. *)
+
+val run :
+  config:Config.t ->
+  profile:Profile.t ->
+  rng:Rng.t ->
+  Asm.func ->
+  Asm.func * stats
+(** Diversify one function.  With [Config.Off] the function is returned
+    unchanged.  The profile is consulted only for [Profiled] strategies;
+    blocks absent from it count as cold ([pmax]). *)
+
+val run_program :
+  config:Config.t ->
+  profile:Profile.t ->
+  rng:Rng.t ->
+  Asm.func list ->
+  Asm.func list * stats
+(** Diversify all user functions with a shared program-wide [x_max] (the
+    paper normalizes by the maximum execution count in the program). *)

@@ -1,0 +1,1 @@
+lib/front/ast.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/front/lexer.pp.ml: Ast Char Format Int32 List Ppx_deriving_runtime String

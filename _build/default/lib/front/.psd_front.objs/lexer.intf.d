@@ -1,0 +1,1 @@
+lib/front/lexer.pp.mli: Ast Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/front/lower.pp.ml: Array Ast Builder Hashtbl Ir List Option

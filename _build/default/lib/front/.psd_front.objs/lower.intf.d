@@ -1,0 +1,1 @@
+lib/front/lower.pp.mli: Ast Ir

@@ -1,0 +1,1 @@
+lib/front/minic.pp.ml: Ast Lexer Lower Parser Printf Sema Verify

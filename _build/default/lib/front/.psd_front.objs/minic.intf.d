@@ -1,0 +1,1 @@
+lib/front/minic.pp.mli: Ir

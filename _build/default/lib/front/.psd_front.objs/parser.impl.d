@@ -1,0 +1,1 @@
+lib/front/parser.pp.ml: Ast Format Int32 Lexer List

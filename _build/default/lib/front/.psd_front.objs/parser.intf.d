@@ -1,0 +1,1 @@
+lib/front/parser.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/front/sema.pp.ml: Ast Format Hashtbl List Option String

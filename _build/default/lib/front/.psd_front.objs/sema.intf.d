@@ -1,0 +1,1 @@
+lib/front/sema.pp.mli: Ast

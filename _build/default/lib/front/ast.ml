@@ -1,0 +1,57 @@
+type pos = { line : int; col : int } [@@deriving eq, show]
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor
+[@@deriving eq, show]
+
+type unop = Neg | Lnot | Bnot [@@deriving eq, show]
+
+type expr = { desc : expr_desc; pos : pos } [@@deriving eq, show]
+
+and expr_desc =
+  | Num of int32
+  | Var of string
+  | Index of string * expr
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Call of string * expr list
+[@@deriving eq, show]
+
+type stmt = { sdesc : stmt_desc; spos : pos } [@@deriving eq, show]
+
+and stmt_desc =
+  | Decl of string * int option * expr option
+  | Assign of string * expr
+  | Assign_index of string * expr * expr
+  | If of expr * stmt * stmt option
+  | While of expr * stmt
+  | For of stmt option * expr option * stmt option * stmt
+  | Return of expr option
+  | Break
+  | Continue
+  | Expr of expr
+  | Block of stmt list
+[@@deriving eq, show]
+
+type func = {
+  fname : string;
+  fparams : string list;
+  fbody : stmt list;
+  fpos : pos;
+}
+[@@deriving eq, show]
+
+type global = {
+  gname : string;
+  gsize : int;
+  garray : bool;
+  ginit : int32 list option;
+  gpos : pos;
+}
+[@@deriving eq, show]
+
+type program = { globals : global list; funcs : func list }
+[@@deriving eq, show]

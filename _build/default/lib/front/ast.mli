@@ -1,0 +1,71 @@
+(** Abstract syntax of MiniC.
+
+    MiniC is the integer subset of C this system compiles: 32-bit [int]
+    scalars and fixed-size [int] arrays (global or local), functions,
+    structured control flow, and the three runtime builtins
+    ([print_int], [put_char], [exit]).  It is deliberately small but
+    expressive enough to write real workload kernels — compression,
+    graph search, simulation, interpreters — with the hot-loop/cold-path
+    structure the paper's evaluation depends on. *)
+
+type pos = { line : int; col : int } [@@deriving eq, show]
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor  (** short-circuit logical and/or *)
+[@@deriving eq, show]
+
+type unop = Neg | Lnot  (** logical not *) | Bnot  (** bitwise not *)
+[@@deriving eq, show]
+
+type expr = { desc : expr_desc; pos : pos } [@@deriving eq, show]
+
+and expr_desc =
+  | Num of int32
+  | Var of string
+  | Index of string * expr  (** [a\[i\]] *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Call of string * expr list
+[@@deriving eq, show]
+
+type stmt = { sdesc : stmt_desc; spos : pos } [@@deriving eq, show]
+
+and stmt_desc =
+  | Decl of string * int option * expr option
+      (** [int x;] / [int a\[n\];] / [int x = e;] *)
+  | Assign of string * expr
+  | Assign_index of string * expr * expr  (** [a\[i\] = e] *)
+  | If of expr * stmt * stmt option
+  | While of expr * stmt
+  | For of stmt option * expr option * stmt option * stmt
+      (** init and step are restricted to assignments/decls by the
+          parser *)
+  | Return of expr option
+  | Break
+  | Continue
+  | Expr of expr  (** expression statement, e.g. a call *)
+  | Block of stmt list
+[@@deriving eq, show]
+
+type func = {
+  fname : string;
+  fparams : string list;
+  fbody : stmt list;
+  fpos : pos;
+}
+[@@deriving eq, show]
+
+type global = {
+  gname : string;
+  gsize : int;  (** 1 for scalars *)
+  garray : bool;  (** declared with brackets; a 1-element array is not a scalar *)
+  ginit : int32 list option;
+  gpos : pos;
+}
+[@@deriving eq, show]
+
+type program = { globals : global list; funcs : func list }
+[@@deriving eq, show]

@@ -1,0 +1,311 @@
+type binding =
+  | Scalar_temp of Ir.temp
+  | Local_array of int  (* stack slot id *)
+  | Global_scalar of string
+  | Global_array of string
+
+type env = {
+  mutable scopes : (string, binding) Hashtbl.t list;
+  (* (continue target, break target), innermost loop first *)
+  mutable loops : (Ir.label * Ir.label) list;
+}
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let pop_scope env = env.scopes <- List.tl env.scopes
+
+let bind env name b =
+  match env.scopes with
+  | scope :: _ -> Hashtbl.replace scope name b
+  | [] -> assert false
+
+let lookup env name =
+  let rec find = function
+    | [] -> failwith ("Lower: unresolved name " ^ name)
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with
+        | Some b -> b
+        | None -> find rest)
+  in
+  find env.scopes
+
+(* Ensure a block is open before emitting: statements after a return (or
+   break/continue) land in a fresh unreachable block that CFG
+   simplification later deletes. *)
+let ensure_block b =
+  if not (Builder.in_block b) then Builder.start_block b (Builder.fresh_label b)
+
+let binop_ir : Ast.binop -> Ir.binop option = function
+  | Ast.Add -> Some Ir.Add
+  | Ast.Sub -> Some Ir.Sub
+  | Ast.Mul -> Some Ir.Mul
+  | Ast.Div -> Some Ir.Div
+  | Ast.Rem -> Some Ir.Rem
+  | Ast.Band -> Some Ir.And
+  | Ast.Bor -> Some Ir.Or
+  | Ast.Bxor -> Some Ir.Xor
+  | Ast.Shl -> Some Ir.Shl
+  | Ast.Shr -> Some Ir.Sar (* C's >> on int is arithmetic *)
+  | _ -> None
+
+let relop_ir : Ast.binop -> Ir.relop option = function
+  | Ast.Eq -> Some Ir.Eq
+  | Ast.Ne -> Some Ir.Ne
+  | Ast.Lt -> Some Ir.Lt
+  | Ast.Le -> Some Ir.Le
+  | Ast.Gt -> Some Ir.Gt
+  | Ast.Ge -> Some Ir.Ge
+  | _ -> None
+
+(* The address of element [idx] of the array bound to [name]:
+   base + (idx << 2). *)
+let rec element_addr b env name idx =
+  let base = Builder.fresh_temp b in
+  (match lookup env name with
+  | Local_array slot -> Builder.emit b (Ir.Stack_addr (base, slot))
+  | Global_array g -> Builder.emit b (Ir.Global_addr (base, g))
+  | Scalar_temp _ | Global_scalar _ ->
+      failwith ("Lower: " ^ name ^ " is not an array"));
+  let iv = lower_expr b env idx in
+  let scaled = Builder.fresh_temp b in
+  Builder.emit b (Ir.Bin (Ir.Shl, scaled, iv, Ir.Const 2l));
+  let addr = Builder.fresh_temp b in
+  Builder.emit b (Ir.Bin (Ir.Add, addr, Ir.Temp base, Ir.Temp scaled));
+  addr
+
+and lower_expr b env (e : Ast.expr) : Ir.operand =
+  match e.desc with
+  | Ast.Num v -> Ir.Const v
+  | Ast.Var name -> (
+      match lookup env name with
+      | Scalar_temp t -> Ir.Temp t
+      | Global_scalar g ->
+          let addr = Builder.fresh_temp b in
+          Builder.emit b (Ir.Global_addr (addr, g));
+          let v = Builder.fresh_temp b in
+          Builder.emit b (Ir.Load (v, Ir.Temp addr));
+          Ir.Temp v
+      | Local_array _ | Global_array _ ->
+          failwith ("Lower: array " ^ name ^ " used as scalar"))
+  | Ast.Index (name, idx) ->
+      let addr = element_addr b env name idx in
+      let v = Builder.fresh_temp b in
+      Builder.emit b (Ir.Load (v, Ir.Temp addr));
+      Ir.Temp v
+  | Ast.Un (Ast.Neg, a) ->
+      let va = lower_expr b env a in
+      let t = Builder.fresh_temp b in
+      Builder.emit b (Ir.Neg (t, va));
+      Ir.Temp t
+  | Ast.Un (Ast.Bnot, a) ->
+      let va = lower_expr b env a in
+      let t = Builder.fresh_temp b in
+      Builder.emit b (Ir.Not (t, va));
+      Ir.Temp t
+  | Ast.Un (Ast.Lnot, a) ->
+      let va = lower_expr b env a in
+      let t = Builder.fresh_temp b in
+      Builder.emit b (Ir.Cmp (Ir.Eq, t, va, Ir.Const 0l));
+      Ir.Temp t
+  | Ast.Bin ((Ast.Land | Ast.Lor), _, _) ->
+      (* Value position: materialize 0/1 through the short-circuit
+         branch structure. *)
+      let t = Builder.fresh_temp b in
+      let true_l = Builder.fresh_label b in
+      let false_l = Builder.fresh_label b in
+      let merge_l = Builder.fresh_label b in
+      lower_cond b env e ~if_true:true_l ~if_false:false_l;
+      Builder.start_block b true_l;
+      Builder.emit b (Ir.Copy (t, Ir.Const 1l));
+      Builder.terminate b (Ir.Jmp merge_l);
+      Builder.start_block b false_l;
+      Builder.emit b (Ir.Copy (t, Ir.Const 0l));
+      Builder.terminate b (Ir.Jmp merge_l);
+      Builder.start_block b merge_l;
+      Ir.Temp t
+  | Ast.Bin (op, x, y) -> (
+      match (binop_ir op, relop_ir op) with
+      | Some irop, _ ->
+          let vx = lower_expr b env x in
+          let vy = lower_expr b env y in
+          let t = Builder.fresh_temp b in
+          Builder.emit b (Ir.Bin (irop, t, vx, vy));
+          Ir.Temp t
+      | None, Some rel ->
+          let vx = lower_expr b env x in
+          let vy = lower_expr b env y in
+          let t = Builder.fresh_temp b in
+          Builder.emit b (Ir.Cmp (rel, t, vx, vy));
+          Ir.Temp t
+      | None, None -> assert false)
+  | Ast.Call (name, args) ->
+      let vals = List.map (lower_expr b env) args in
+      let t = Builder.fresh_temp b in
+      Builder.emit b (Ir.Call (Some t, name, vals));
+      Ir.Temp t
+
+(* Lower [e] in condition position: seal the current block with a branch
+   to [if_true]/[if_false]. *)
+and lower_cond b env (e : Ast.expr) ~if_true ~if_false =
+  match e.desc with
+  | Ast.Bin (Ast.Land, x, y) ->
+      let mid = Builder.fresh_label b in
+      lower_cond b env x ~if_true:mid ~if_false;
+      Builder.start_block b mid;
+      lower_cond b env y ~if_true ~if_false
+  | Ast.Bin (Ast.Lor, x, y) ->
+      let mid = Builder.fresh_label b in
+      lower_cond b env x ~if_true ~if_false:mid;
+      Builder.start_block b mid;
+      lower_cond b env y ~if_true ~if_false
+  | Ast.Un (Ast.Lnot, x) ->
+      lower_cond b env x ~if_true:if_false ~if_false:if_true
+  | Ast.Bin (op, x, y) when relop_ir op <> None ->
+      let rel = Option.get (relop_ir op) in
+      let vx = lower_expr b env x in
+      let vy = lower_expr b env y in
+      Builder.terminate b (Ir.Cbr (rel, vx, vy, if_true, if_false))
+  | _ ->
+      let v = lower_expr b env e in
+      Builder.terminate b (Ir.Cbr_nz (v, if_true, if_false))
+
+let rec lower_stmt b env (s : Ast.stmt) =
+  ensure_block b;
+  match s.sdesc with
+  | Ast.Decl (name, None, init) ->
+      let v =
+        match init with
+        | Some e -> lower_expr b env e
+        | None -> Ir.Const 0l
+      in
+      let t = Builder.fresh_temp b in
+      Builder.emit b (Ir.Copy (t, v));
+      bind env name (Scalar_temp t)
+  | Ast.Decl (name, Some n, _) ->
+      let slot = Builder.alloc_slot b ~size_words:n in
+      bind env name (Local_array slot)
+  | Ast.Assign (name, e) -> (
+      let v = lower_expr b env e in
+      match lookup env name with
+      | Scalar_temp t -> Builder.emit b (Ir.Copy (t, v))
+      | Global_scalar g ->
+          let addr = Builder.fresh_temp b in
+          Builder.emit b (Ir.Global_addr (addr, g));
+          Builder.emit b (Ir.Store (Ir.Temp addr, v))
+      | Local_array _ | Global_array _ ->
+          failwith ("Lower: cannot assign to array " ^ name))
+  | Ast.Assign_index (name, idx, e) ->
+      let addr = element_addr b env name idx in
+      let v = lower_expr b env e in
+      Builder.emit b (Ir.Store (Ir.Temp addr, v))
+  | Ast.If (cond, then_, else_) -> (
+      let then_l = Builder.fresh_label b in
+      let merge_l = Builder.fresh_label b in
+      match else_ with
+      | None ->
+          lower_cond b env cond ~if_true:then_l ~if_false:merge_l;
+          Builder.start_block b then_l;
+          lower_stmt_scoped b env then_;
+          if Builder.in_block b then Builder.terminate b (Ir.Jmp merge_l);
+          Builder.start_block b merge_l
+      | Some else_stmt ->
+          let else_l = Builder.fresh_label b in
+          lower_cond b env cond ~if_true:then_l ~if_false:else_l;
+          Builder.start_block b then_l;
+          lower_stmt_scoped b env then_;
+          if Builder.in_block b then Builder.terminate b (Ir.Jmp merge_l);
+          Builder.start_block b else_l;
+          lower_stmt_scoped b env else_stmt;
+          if Builder.in_block b then Builder.terminate b (Ir.Jmp merge_l);
+          Builder.start_block b merge_l)
+  | Ast.While (cond, body) ->
+      let cond_l = Builder.fresh_label b in
+      let body_l = Builder.fresh_label b in
+      let exit_l = Builder.fresh_label b in
+      Builder.terminate b (Ir.Jmp cond_l);
+      Builder.start_block b cond_l;
+      lower_cond b env cond ~if_true:body_l ~if_false:exit_l;
+      Builder.start_block b body_l;
+      env.loops <- (cond_l, exit_l) :: env.loops;
+      lower_stmt_scoped b env body;
+      env.loops <- List.tl env.loops;
+      if Builder.in_block b then Builder.terminate b (Ir.Jmp cond_l);
+      Builder.start_block b exit_l
+  | Ast.For (init, cond, step, body) ->
+      push_scope env;
+      Option.iter (lower_stmt b env) init;
+      let cond_l = Builder.fresh_label b in
+      let body_l = Builder.fresh_label b in
+      let step_l = Builder.fresh_label b in
+      let exit_l = Builder.fresh_label b in
+      Builder.terminate b (Ir.Jmp cond_l);
+      Builder.start_block b cond_l;
+      (match cond with
+      | Some c -> lower_cond b env c ~if_true:body_l ~if_false:exit_l
+      | None -> Builder.terminate b (Ir.Jmp body_l));
+      Builder.start_block b body_l;
+      env.loops <- (step_l, exit_l) :: env.loops;
+      lower_stmt_scoped b env body;
+      env.loops <- List.tl env.loops;
+      if Builder.in_block b then Builder.terminate b (Ir.Jmp step_l);
+      Builder.start_block b step_l;
+      Option.iter (lower_stmt b env) step;
+      if Builder.in_block b then Builder.terminate b (Ir.Jmp cond_l);
+      pop_scope env;
+      Builder.start_block b exit_l
+  | Ast.Return e ->
+      let v = Option.map (lower_expr b env) e in
+      Builder.terminate b (Ir.Ret v)
+  | Ast.Break -> (
+      match env.loops with
+      | (_, break_l) :: _ -> Builder.terminate b (Ir.Jmp break_l)
+      | [] -> failwith "Lower: break outside loop")
+  | Ast.Continue -> (
+      match env.loops with
+      | (continue_l, _) :: _ -> Builder.terminate b (Ir.Jmp continue_l)
+      | [] -> failwith "Lower: continue outside loop")
+  | Ast.Expr { desc = Ast.Call (name, args); _ } ->
+      (* Call in statement position: discard the result. *)
+      let vals = List.map (lower_expr b env) args in
+      Builder.emit b (Ir.Call (None, name, vals))
+  | Ast.Expr e -> ignore (lower_expr b env e)
+  | Ast.Block stmts ->
+      push_scope env;
+      List.iter (lower_stmt b env) stmts;
+      pop_scope env
+
+and lower_stmt_scoped b env s =
+  push_scope env;
+  lower_stmt b env s;
+  pop_scope env
+
+let lower_func global_scope (f : Ast.func) =
+  let b = Builder.create ~name:f.fname ~n_params:(List.length f.fparams) in
+  let env = { scopes = [ global_scope ]; loops = [] } in
+  push_scope env;
+  List.iteri
+    (fun i name -> bind env name (Scalar_temp (List.nth (Builder.params b) i)))
+    f.fparams;
+  List.iter (lower_stmt b env) f.fbody;
+  (* Fall off the end: implicit return 0. *)
+  if Builder.in_block b then Builder.terminate b (Ir.Ret (Some (Ir.Const 0l)));
+  Builder.finish b
+
+let program (prog : Ast.program) =
+  let global_scope = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Ast.global) ->
+      Hashtbl.replace global_scope g.gname
+        (if g.garray then Global_array g.gname else Global_scalar g.gname))
+    prog.globals;
+  let globals =
+    List.map
+      (fun (g : Ast.global) ->
+        {
+          Ir.gname = g.gname;
+          size_words = g.gsize;
+          init = Option.map Array.of_list g.ginit;
+        })
+      prog.globals
+  in
+  let funcs = List.map (lower_func global_scope) prog.funcs in
+  { Ir.funcs; globals }

@@ -1,0 +1,15 @@
+(** Lowering from the MiniC AST to the IR.
+
+    Scalars (parameters and local [int]s) become IR temps; local arrays
+    become stack slots; globals become module globals accessed through
+    address/load/store instructions.  Short-circuit [&&]/[||] lower to
+    control flow, both in condition position (into the branch structure)
+    and in value position (via a 0/1 merge temp), so side effects in the
+    right operand are correctly skipped.
+
+    The input must have passed {!Sema.check}; lowering resolves names
+    under the same scope rules. *)
+
+val program : Ast.program -> Ir.modul
+(** Lower a checked program.  Every function ends with an implicit
+    [return 0] on paths that fall off the end. *)

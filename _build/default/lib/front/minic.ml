@@ -1,0 +1,23 @@
+type error = { message : string; line : int; col : int }
+
+let of_pos (p : Ast.pos) message = { message; line = p.line; col = p.col }
+
+let compile src =
+  match
+    let ast = Parser.parse src in
+    Sema.check ast;
+    let m = Lower.program ast in
+    Verify.check_exn m;
+    m
+  with
+  | m -> Ok m
+  | exception Lexer.Error (msg, pos) -> Error (of_pos pos ("lexical error: " ^ msg))
+  | exception Parser.Error (msg, pos) -> Error (of_pos pos ("syntax error: " ^ msg))
+  | exception Sema.Error (msg, pos) -> Error (of_pos pos msg)
+  | exception Failure msg -> Error { message = msg; line = 0; col = 0 }
+
+let compile_exn src =
+  match compile src with
+  | Ok m -> m
+  | Error e ->
+      failwith (Printf.sprintf "%d:%d: %s" e.line e.col e.message)

@@ -1,0 +1,12 @@
+(** Frontend facade: MiniC source text to a verified IR module. *)
+
+type error = { message : string; line : int; col : int }
+
+val compile : string -> (Ir.modul, error) result
+(** Lex, parse, check, lower, and verify.  All frontend failures are
+    reported as positioned {!error}s rather than exceptions. *)
+
+val compile_exn : string -> Ir.modul
+(** Like {!compile} but raises [Failure] with a formatted message — the
+    convenient form for tests and tools operating on known-good
+    sources. *)

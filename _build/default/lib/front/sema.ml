@@ -1,0 +1,175 @@
+exception Error of string * Ast.pos
+
+let builtins = [ ("print_int", 1); ("put_char", 1); ("exit", 1) ]
+let error pos fmt = Format.kasprintf (fun m -> raise (Error (m, pos))) fmt
+
+type shape = Scalar | Array
+
+(* Lexical scopes: innermost first.  Each scope maps a name to its
+   shape. *)
+type env = {
+  funcs : (string * int) list;
+  mutable scopes : (string, shape) Hashtbl.t list;
+  mutable loop_depth : int;
+}
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let pop_scope env = env.scopes <- List.tl env.scopes
+
+let declare env pos name shape =
+  match env.scopes with
+  | scope :: _ ->
+      if Hashtbl.mem scope name then
+        error pos "redeclaration of '%s' in the same scope" name;
+      Hashtbl.replace scope name shape
+  | [] -> assert false
+
+let lookup env name =
+  let rec find = function
+    | [] -> None
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with
+        | Some s -> Some s
+        | None -> find rest)
+  in
+  find env.scopes
+
+let rec check_expr env (e : Ast.expr) =
+  match e.desc with
+  | Ast.Num _ -> ()
+  | Ast.Var name -> (
+      match lookup env name with
+      | Some Scalar -> ()
+      | Some Array ->
+          error e.pos "array '%s' used as a scalar (index it instead)" name
+      | None -> error e.pos "undeclared variable '%s'" name)
+  | Ast.Index (name, idx) -> (
+      check_expr env idx;
+      match lookup env name with
+      | Some Array -> ()
+      | Some Scalar -> error e.pos "scalar '%s' cannot be indexed" name
+      | None -> error e.pos "undeclared array '%s'" name)
+  | Ast.Bin (_, a, b) ->
+      check_expr env a;
+      check_expr env b
+  | Ast.Un (_, a) -> check_expr env a
+  | Ast.Call (name, args) -> (
+      List.iter (check_expr env) args;
+      match List.assoc_opt name env.funcs with
+      | None -> error e.pos "call to undeclared function '%s'" name
+      | Some arity ->
+          if List.length args <> arity then
+            error e.pos "'%s' expects %d argument(s), got %d" name arity
+              (List.length args))
+
+let rec check_stmt env (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Decl (name, size, init) ->
+      (match size with
+      | Some n when n <= 0 ->
+          error s.spos "array '%s' must have positive size" name
+      | _ -> ());
+      Option.iter (check_expr env) init;
+      declare env s.spos name (if size = None then Scalar else Array)
+  | Ast.Assign (name, e) -> (
+      check_expr env e;
+      match lookup env name with
+      | Some Scalar -> ()
+      | Some Array -> error s.spos "cannot assign to array '%s'" name
+      | None -> error s.spos "assignment to undeclared variable '%s'" name)
+  | Ast.Assign_index (name, idx, e) -> (
+      check_expr env idx;
+      check_expr env e;
+      match lookup env name with
+      | Some Array -> ()
+      | Some Scalar -> error s.spos "scalar '%s' cannot be indexed" name
+      | None -> error s.spos "undeclared array '%s'" name)
+  | Ast.If (cond, then_, else_) ->
+      check_expr env cond;
+      check_stmt_scoped env then_;
+      Option.iter (check_stmt_scoped env) else_
+  | Ast.While (cond, body) ->
+      check_expr env cond;
+      env.loop_depth <- env.loop_depth + 1;
+      check_stmt_scoped env body;
+      env.loop_depth <- env.loop_depth - 1
+  | Ast.For (init, cond, step, body) ->
+      push_scope env;
+      Option.iter (check_stmt env) init;
+      Option.iter (check_expr env) cond;
+      env.loop_depth <- env.loop_depth + 1;
+      check_stmt_scoped env body;
+      Option.iter (check_stmt env) step;
+      env.loop_depth <- env.loop_depth - 1;
+      pop_scope env
+  | Ast.Return e -> Option.iter (check_expr env) e
+  | Ast.Break ->
+      if env.loop_depth = 0 then error s.spos "'break' outside a loop"
+  | Ast.Continue ->
+      if env.loop_depth = 0 then error s.spos "'continue' outside a loop"
+  | Ast.Expr e -> check_expr env e
+  | Ast.Block stmts ->
+      push_scope env;
+      List.iter (check_stmt env) stmts;
+      pop_scope env
+
+(* A sub-statement of if/while/for opens its own scope even when it is not
+   syntactically a block, so "if (c) int x = 1;" cannot leak x. *)
+and check_stmt_scoped env s =
+  push_scope env;
+  check_stmt env s;
+  pop_scope env
+
+let check (prog : Ast.program) =
+  (* Global names must be unique. *)
+  let rec gdups = function
+    | [] -> ()
+    | (g : Ast.global) :: rest ->
+        if List.exists (fun (h : Ast.global) -> String.equal g.gname h.gname) rest
+        then error g.gpos "duplicate global '%s'" g.gname;
+        if g.gsize <= 0 then
+          error g.gpos "global '%s' must have positive size" g.gname;
+        (match g.ginit with
+        | Some vals when List.length vals > g.gsize ->
+            error g.gpos "initializer of '%s' longer than its size" g.gname
+        | _ -> ());
+        gdups rest
+  in
+  gdups prog.globals;
+  let rec fdups = function
+    | [] -> ()
+    | (f : Ast.func) :: rest ->
+        if List.exists (fun (g : Ast.func) -> String.equal f.fname g.fname) rest
+        then error f.fpos "duplicate function '%s'" f.fname;
+        if List.mem_assoc f.fname builtins then
+          error f.fpos "'%s' shadows a builtin" f.fname;
+        fdups rest
+  in
+  fdups prog.funcs;
+  let funcs =
+    builtins
+    @ List.map
+        (fun (f : Ast.func) -> (f.fname, List.length f.fparams))
+        prog.funcs
+  in
+  let global_scope = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Ast.global) ->
+      Hashtbl.replace global_scope g.gname
+        (if g.garray then Array else Scalar))
+    prog.globals;
+  List.iter
+    (fun (f : Ast.func) ->
+      let env = { funcs; scopes = [ global_scope ]; loop_depth = 0 } in
+      push_scope env;
+      let rec pdups = function
+        | [] -> ()
+        | p :: rest ->
+            if List.mem p rest then
+              error f.fpos "duplicate parameter '%s' in '%s'" p f.fname;
+            pdups rest
+      in
+      pdups f.fparams;
+      List.iter (fun p -> declare env f.fpos p Scalar) f.fparams;
+      List.iter (check_stmt env) f.fbody)
+    prog.funcs

@@ -1,0 +1,17 @@
+(** Semantic analysis for MiniC.
+
+    Name resolution and shape checking over the AST; all errors carry
+    source positions.  Checks: no redeclaration within a scope; every
+    variable use resolves; arrays are only used indexed and scalars never
+    indexed; assignment targets are scalars (or array elements); calls
+    resolve to a function or builtin with the right arity; [break] /
+    [continue] appear only inside loops; array and global sizes are
+    positive; global initializers fit. *)
+
+exception Error of string * Ast.pos
+
+val check : Ast.program -> unit
+(** Raises {!Error} on the first violation. *)
+
+val builtins : (string * int) list
+(** Name and arity of the runtime builtins callable from MiniC. *)

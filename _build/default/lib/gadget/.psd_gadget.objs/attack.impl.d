@@ -1,0 +1,1 @@
+lib/gadget/attack.pp.ml: Finder Hashtbl Insn List Option Ppx_deriving_runtime Reg String

@@ -1,0 +1,1 @@
+lib/gadget/attack.pp.mli: Finder Insn Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/gadget/finder.pp.ml: Decode Format Hashtbl Insn List String

@@ -1,0 +1,1 @@
+lib/gadget/finder.pp.mli: Format Insn

@@ -1,0 +1,1 @@
+lib/gadget/population.pp.ml: Finder Hashtbl Insn List Option String Survivor

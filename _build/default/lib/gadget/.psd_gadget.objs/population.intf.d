@@ -1,0 +1,1 @@
+lib/gadget/population.pp.mli: Finder

@@ -1,0 +1,1 @@
+lib/gadget/survivor.pp.ml: Decode Finder Insn List Nops

@@ -1,0 +1,1 @@
+lib/gadget/survivor.pp.mli: Finder Insn

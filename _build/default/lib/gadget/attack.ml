@@ -1,0 +1,112 @@
+type gadget_class =
+  | Load_const
+  | Mem_read
+  | Mem_write
+  | Arith
+  | Move
+  | Stack_pivot
+  | Syscall
+[@@deriving show]
+
+(* A gadget is useful for a class when one of its non-branch instructions
+   performs the operation and no later instruction clobbers the effect in
+   an obviously fatal way.  Like real scanners we classify optimistically:
+   the attacker can often tolerate side effects. *)
+let classify (insns : Insn.t list) : gadget_class list =
+  let classes = ref [] in
+  let add c = if not (List.mem c !classes) then classes := c :: !classes in
+  List.iter
+    (fun (i : Insn.t) ->
+      match i with
+      | Insn.Pop_r r -> if Reg.equal r Reg.ESP then add Stack_pivot else add Load_const
+      | Insn.Mov_r_rm (_, Insn.Mem _) -> add Mem_read
+      | Insn.Mov_rm_r (Insn.Mem _, _) -> add Mem_write
+      | Insn.Mov_rm_imm (Insn.Mem _, _) -> add Mem_write
+      | Insn.Mov_rm_r (Insn.Reg d, _) ->
+          if Reg.equal d Reg.ESP then add Stack_pivot else add Move
+      | Insn.Mov_r_rm (d, Insn.Reg _) ->
+          if Reg.equal d Reg.ESP then add Stack_pivot else add Move
+      | Insn.Alu_rm_r (op, Insn.Reg d, _)
+      | Insn.Alu_r_rm (op, d, Insn.Reg _) -> (
+          match op with
+          | Insn.Cmp -> ()
+          | _ -> if Reg.equal d Reg.ESP then add Stack_pivot else add Arith)
+      | Insn.Alu_rm_imm (op, Insn.Reg d, _) -> (
+          match op with
+          | Insn.Cmp -> ()
+          | _ -> if Reg.equal d Reg.ESP then add Stack_pivot else add Arith)
+      | Insn.Alu_rm_r (op, Insn.Mem _, _) | Insn.Alu_rm_imm (op, Insn.Mem _, _)
+        -> (
+          match op with Insn.Cmp -> () | _ -> add Mem_write)
+      | Insn.Alu_r_rm (op, _, Insn.Mem _) -> (
+          match op with Insn.Cmp -> () | _ -> add Mem_read)
+      | Insn.Inc_r r | Insn.Dec_r r ->
+          if Reg.equal r Reg.ESP then add Stack_pivot else add Arith
+      | Insn.Neg (Insn.Reg _) | Insn.Not (Insn.Reg _) -> add Arith
+      | Insn.Imul_r_rm _ | Insn.Mul _ | Insn.Idiv _ -> add Arith
+      | Insn.Shift_imm (_, Insn.Reg _, _) | Insn.Shift_cl (_, Insn.Reg _) ->
+          add Arith
+      | Insn.Xchg_rm_r (Insn.Reg a, b) ->
+          if Reg.equal a b then () (* a pure NOP *)
+          else if Reg.equal a Reg.ESP || Reg.equal b Reg.ESP then
+            add Stack_pivot
+          else add Move
+      | Insn.Xchg_rm_r (Insn.Mem _, _) ->
+          add Mem_read;
+          add Mem_write
+      | Insn.Int 0x80 -> add Syscall
+      | Insn.Lea (d, _) -> if Reg.equal d Reg.ESP then add Stack_pivot else add Arith
+      | Insn.Movzx_r_r8 _ | Insn.Setcc _ -> add Move
+      | _ -> ())
+    insns;
+  List.rev !classes
+
+type scanner = Ropgadget | Microgadgets
+
+let scanner_name = function
+  | Ropgadget -> "ROPgadget"
+  | Microgadgets -> "microgadgets"
+
+let micro_max_bytes = 3
+
+let scan scanner text =
+  match scanner with
+  | Ropgadget -> Finder.scan text
+  | Microgadgets ->
+      (* Microgadgets: sequences of at most 2-3 bytes in total, i.e. one
+         very short instruction plus the return. *)
+      let all =
+        Finder.scan
+          ~params:{ Finder.max_insns = 2; max_back_bytes = micro_max_bytes }
+          text
+      in
+      List.filter
+        (fun (g : Finder.t) -> String.length g.bytes <= micro_max_bytes + 1)
+        all
+
+type verdict = {
+  scanner : scanner;
+  classes_found : (gadget_class * int) list;
+  missing : gadget_class list;
+  feasible : bool;
+}
+
+let required = [ Load_const; Mem_write; Arith; Syscall ]
+
+let attack_on_gadgets scanner gadgets =
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun (g : Finder.t) ->
+      List.iter
+        (fun c ->
+          let old = Option.value (Hashtbl.find_opt tally c) ~default:0 in
+          Hashtbl.replace tally c (old + 1))
+        (classify g.insns))
+    gadgets;
+  let classes_found = Hashtbl.fold (fun c n acc -> (c, n) :: acc) tally [] in
+  let missing =
+    List.filter (fun c -> not (Hashtbl.mem tally c)) required
+  in
+  { scanner; classes_found; missing; feasible = missing = [] }
+
+let attack scanner text = attack_on_gadgets scanner (scan scanner text)

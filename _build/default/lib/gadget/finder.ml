@@ -1,0 +1,75 @@
+type t = { offset : int; insns : Insn.t list; bytes : string }
+
+let pp ppf g =
+  Format.fprintf ppf "@[<h>0x%x: %a@]" g.offset
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ; ")
+       Insn.pp)
+    g.insns
+
+type params = { max_insns : int; max_back_bytes : int }
+
+let default_params = { max_insns = 8; max_back_bytes = 30 }
+
+let free_branch_sites text =
+  let sites = ref [] in
+  for pos = String.length text - 1 downto 0 do
+    match Decode.insn ~pos text with
+    | Some (i, len) when Insn.is_free_branch i -> sites := (pos, len) :: !sites
+    | _ -> ()
+  done;
+  !sites
+
+(* Does the sequence starting at [start] decode into straight-line code
+   ending exactly with the free branch at [branch] (of length
+   [branch_len])?  Returns the instructions on success. *)
+(* Software interrupts do not break the straight-line property: execution
+   resumes at the next instruction, and "int 0x80; ret" is the canonical
+   syscall gadget every scanner looks for. *)
+let breaks_gadget i =
+  Insn.is_control_flow i && (match i with Insn.Int _ -> false | _ -> true)
+
+let sequence_into text ~params ~start ~branch ~branch_len =
+  let rec walk pos n acc =
+    if pos = branch then
+      match Decode.insn ~pos text with
+      | Some (i, _) when Insn.is_free_branch i -> Some (List.rev (i :: acc))
+      | _ -> None
+    else if pos > branch || n > params.max_insns then None
+    else
+      match Decode.insn ~pos text with
+      | Some (i, len) when not (breaks_gadget i) ->
+          walk (pos + len) (n + 1) (i :: acc)
+      | _ -> None
+  in
+  if start = branch then
+    (* The branch alone is a (degenerate) one-instruction gadget. *)
+    match Decode.insn ~pos:branch text with
+    | Some (i, len) when Insn.is_free_branch i && len = branch_len ->
+        Some [ i ]
+    | _ -> None
+  else
+    (* Start at 2: the free branch itself occupies one of the
+       [max_insns] positions. *)
+    walk start 2 []
+
+let scan ?(params = default_params) text =
+  let sites = free_branch_sites text in
+  (* For each start offset keep the gadget into the nearest branch. *)
+  let found = Hashtbl.create 256 in
+  List.iter
+    (fun (branch, branch_len) ->
+      let lo = max 0 (branch - params.max_back_bytes) in
+      for start = lo to branch do
+        if not (Hashtbl.mem found start) then
+          match sequence_into text ~params ~start ~branch ~branch_len with
+          | Some insns ->
+              let bytes = String.sub text start (branch + branch_len - start) in
+              Hashtbl.replace found start { offset = start; insns; bytes }
+          | None -> ()
+      done)
+    sites;
+  Hashtbl.fold (fun _ g acc -> g :: acc) found []
+  |> List.sort (fun a b -> compare a.offset b.offset)
+
+let count ?params text = List.length (scan ?params text)

@@ -1,0 +1,39 @@
+type report = { population : int; at_least : (int * int) list }
+
+let analyze ?params ~thresholds sections =
+  (* How many versions contain each (offset, normalized bytes) pair?  The
+     normalized sequence is keyed by its rendering, which is injective
+     enough for machine instructions and avoids a polymorphic-compare
+     hash of the AST. *)
+  let counts : (int * string, int) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun text ->
+      let gadgets = Finder.scan ?params text in
+      (* Within one version, count each pair once. *)
+      let seen = Hashtbl.create 256 in
+      List.iter
+        (fun (g : Finder.t) ->
+          let normalized = Survivor.normalize g.insns in
+          if normalized <> [] then begin
+            let key =
+              ( g.offset,
+                String.concat ";" (List.map Insn.to_string normalized) )
+            in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              let old = Option.value (Hashtbl.find_opt counts key) ~default:0 in
+              Hashtbl.replace counts key (old + 1)
+            end
+          end)
+        gadgets)
+    sections;
+  let at_least =
+    List.map
+      (fun k ->
+        let n =
+          Hashtbl.fold (fun _ c acc -> if c >= k then acc + 1 else acc) counts 0
+        in
+        (k, n))
+      thresholds
+  in
+  { population = List.length sections; at_least }

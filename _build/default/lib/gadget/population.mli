@@ -1,0 +1,21 @@
+(** Population survival analysis — paper Table 3.
+
+    An attacker content to compromise a {e subset} of targets looks for
+    gadgets common to as many diversified versions as possible, ignoring
+    the original binary.  The unit of agreement is the pair
+    (offset, normalized instruction sequence): the same logical gadget
+    displaced to different offsets in different versions counts once per
+    offset, which is why the paper observes {e more} gadgets in "≥2 of
+    25" than in the original. *)
+
+type report = {
+  population : int;  (** number of versions analyzed *)
+  at_least : (int * int) list;
+      (** (k, number of (offset, gadget) pairs present in ≥ k versions) *)
+}
+
+val analyze :
+  ?params:Finder.params -> thresholds:int list -> string list -> report
+(** [analyze ~thresholds sections] scans every version's [.text] and
+    counts, for each threshold [k], the distinct (offset, normalized
+    sequence) pairs appearing in at least [k] versions. *)

@@ -1,0 +1,33 @@
+(** The Survivor comparison algorithm (paper §5.2).
+
+    Given the [.text] of an original binary and of a diversified binary,
+    count the gadgets that remain {e functionally equivalent at the same
+    section offset}.  For each candidate pair — two valid straight-line
+    sequences at identical offsets, each ending in a free branch — both
+    sequences are normalized by deleting every potentially-inserted NOP
+    (Table 1 candidates), then compared.  Deleting NOPs can only make the
+    sequences more alike, so the count conservatively {e overestimates}
+    survival, exactly as the paper argues.
+
+    Offsets, not absolute addresses, are compared, which makes the
+    analysis independent of ASLR-style base randomization. *)
+
+type outcome = {
+  baseline_gadgets : int;  (** gadgets in the original section *)
+  surviving : int;  (** candidates equal after normalization *)
+}
+
+val normalize : Insn.t list -> Insn.t list
+(** Strip every Table-1 NOP candidate. *)
+
+val compare_sections :
+  ?params:Finder.params -> original:string -> diversified:string -> unit -> outcome
+
+val surviving_offsets :
+  ?params:Finder.params ->
+  original:string ->
+  diversified:string ->
+  unit ->
+  int list
+(** The offsets of the surviving gadgets (for attack-surface analysis on
+    the surviving set). *)

@@ -1,0 +1,1 @@
+lib/ir/builder.pp.ml: Fun Ir List Printf

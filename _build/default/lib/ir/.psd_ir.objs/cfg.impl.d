@@ -1,0 +1,1 @@
+lib/ir/cfg.pp.ml: Int Ir List Map Option Set

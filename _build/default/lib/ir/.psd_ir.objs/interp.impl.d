@@ -1,0 +1,1 @@
+lib/ir/interp.pp.ml: Array Buffer Char Format Fun Hashtbl Int32 Int64 Ir List Option String

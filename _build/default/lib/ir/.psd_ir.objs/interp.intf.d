@@ -1,0 +1,1 @@
+lib/ir/interp.pp.mli: Hashtbl Ir

@@ -1,0 +1,1 @@
+lib/ir/ir.pp.ml: Format Int32 List Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/ir/ir.pp.mli: Format Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/ir/verify.pp.ml: Array Format Hashtbl Ir List Printf String

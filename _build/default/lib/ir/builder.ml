@@ -1,0 +1,92 @@
+type t = {
+  func : Ir.func;
+  mutable cur : Ir.block option;
+  mutable rev_instrs : Ir.instr list;
+  mutable opened : Ir.label list;
+  mutable next_slot : int;
+}
+
+let create ~name ~n_params =
+  let func =
+    {
+      Ir.name;
+      params = List.init n_params Fun.id;
+      blocks = [];
+      slots = [];
+      next_temp = n_params;
+      next_label = 1;
+    }
+  in
+  let entry = { Ir.label = 0; instrs = []; term = Ir.Ret None } in
+  {
+    func;
+    cur = Some entry;
+    rev_instrs = [];
+    opened = [ 0 ];
+    next_slot = 0;
+  }
+
+let params t = t.func.params
+
+let fresh_temp t =
+  let n = t.func.next_temp in
+  t.func.next_temp <- n + 1;
+  n
+
+let fresh_label t =
+  let n = t.func.next_label in
+  t.func.next_label <- n + 1;
+  n
+
+let alloc_slot t ~size_words =
+  let id = t.next_slot in
+  t.next_slot <- id + 1;
+  t.func.slots <- t.func.slots @ [ { Ir.slot_id = id; size_words } ];
+  id
+
+let emit t i =
+  match t.cur with
+  | None -> failwith "Builder.emit: no open block"
+  | Some _ -> t.rev_instrs <- i :: t.rev_instrs
+
+let terminate t term =
+  match t.cur with
+  | None -> failwith "Builder.terminate: no open block"
+  | Some b ->
+      b.instrs <- List.rev t.rev_instrs;
+      b.term <- term;
+      t.func.blocks <- t.func.blocks @ [ b ];
+      t.cur <- None;
+      t.rev_instrs <- []
+
+let start_block t label =
+  (match t.cur with
+  | Some _ -> failwith "Builder.start_block: previous block still open"
+  | None -> ());
+  if List.mem label t.opened then
+    failwith (Printf.sprintf "Builder.start_block: label L%d reused" label);
+  t.opened <- label :: t.opened;
+  t.cur <- Some { Ir.label; instrs = []; term = Ir.Ret None }
+
+let in_block t = t.cur <> None
+
+let finish t =
+  (match t.cur with
+  | Some b ->
+      failwith
+        (Printf.sprintf "Builder.finish: block L%d not terminated" b.Ir.label)
+  | None -> ());
+  (* Every label referenced by a terminator must name a real block. *)
+  let have = List.map (fun b -> b.Ir.label) t.func.blocks in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun l ->
+          if not (List.mem l have) then
+            failwith
+              (Printf.sprintf
+                 "Builder.finish: block L%d jumps to missing label L%d"
+                 b.Ir.label l))
+        (Ir.successors b.Ir.term))
+    t.func.blocks;
+  t.func

@@ -1,0 +1,38 @@
+(** Imperative construction of IR functions.
+
+    The frontend and the tests build functions through this interface: open
+    a block, emit instructions into it, seal it with a terminator, repeat.
+    {!finish} checks that every opened block was sealed exactly once. *)
+
+type t
+
+val create : name:string -> n_params:int -> t
+(** Start a function with [n_params] parameter temps (numbered 0..n-1); an
+    entry block is opened automatically with label 0. *)
+
+val params : t -> Ir.temp list
+val fresh_temp : t -> Ir.temp
+val fresh_label : t -> Ir.label
+(** Reserve a label for a block to be opened later (forward
+    references). *)
+
+val alloc_slot : t -> size_words:int -> int
+(** Allocate a stack slot; returns its id. *)
+
+val emit : t -> Ir.instr -> unit
+(** Append to the currently open block.  Raises [Failure] if no block is
+    open (i.e. after a terminator and before [start_block]). *)
+
+val terminate : t -> Ir.terminator -> unit
+(** Seal the current block.  Raises [Failure] if no block is open. *)
+
+val start_block : t -> Ir.label -> unit
+(** Open a previously reserved label as the current block.  Raises
+    [Failure] if a block is still open or the label was already used. *)
+
+val in_block : t -> bool
+(** Is a block currently open? *)
+
+val finish : t -> Ir.func
+(** Close construction.  Raises [Failure] if a block is still open or any
+    reserved label was never opened but is referenced. *)

@@ -1,0 +1,209 @@
+type counts = {
+  blocks : (string * Ir.label, int64) Hashtbl.t;
+  edges : (string * Ir.label * Ir.label, int64) Hashtbl.t;
+  calls : (string, int64) Hashtbl.t;
+}
+
+type result = { ret : int32; output : string; steps : int64; counts : counts }
+
+exception Trap of string
+
+exception Program_exit of int32
+(* Raised by the [exit] builtin to unwind the interpreter. *)
+
+let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
+
+let bump tbl key =
+  let old = Option.value (Hashtbl.find_opt tbl key) ~default:0L in
+  Hashtbl.replace tbl key (Int64.add old 1L)
+
+(* The base byte address of the global area; below it is unmapped so that
+   null-ish pointers trap, as on a real OS. *)
+let globals_base = 0x1000
+
+type state = {
+  modul : Ir.modul;
+  mem : int32 array; (* word-indexed *)
+  mem_bytes : int;
+  global_addrs : (string, int) Hashtbl.t;
+  out : Buffer.t;
+  counts : counts;
+  mutable sp : int; (* byte address of the stack top *)
+  mutable depth : int; (* current call depth *)
+  mutable steps : int64;
+  fuel : int64;
+}
+
+(* Bounds recursion even for frames with no stack slots; a real machine
+   would exhaust its stack on the return addresses alone. *)
+let max_call_depth = 10_000
+
+let step st =
+  st.steps <- Int64.add st.steps 1L;
+  if st.steps > st.fuel then trap "fuel exhausted after %Ld steps" st.steps
+
+let load st addr =
+  let a = Int32.to_int addr land 0xFFFFFFFF in
+  if a land 3 <> 0 then trap "unaligned load at 0x%x" a;
+  if a < globals_base || a >= st.mem_bytes then trap "load out of bounds: 0x%x" a;
+  st.mem.(a lsr 2)
+
+let store st addr v =
+  let a = Int32.to_int addr land 0xFFFFFFFF in
+  if a land 3 <> 0 then trap "unaligned store at 0x%x" a;
+  if a < globals_base || a >= st.mem_bytes then
+    trap "store out of bounds: 0x%x" a;
+  st.mem.(a lsr 2) <- v
+
+let builtin st name args =
+  match (name, args) with
+  | "print_int", [ v ] ->
+      Buffer.add_string st.out (Int32.to_string v);
+      Buffer.add_char st.out '\n';
+      0l
+  | "put_char", [ v ] ->
+      Buffer.add_char st.out (Char.chr (Int32.to_int v land 0xFF));
+      0l
+  | "exit", [ v ] -> raise (Program_exit v)
+  | _ -> trap "unknown builtin %s/%d" name (List.length args)
+
+let rec call st fname (args : int32 list) =
+  bump st.counts.calls fname;
+  st.depth <- st.depth + 1;
+  if st.depth > max_call_depth then begin
+    st.depth <- st.depth - 1;
+    trap "call stack overflow in %s" fname
+  end;
+  Fun.protect ~finally:(fun () -> st.depth <- st.depth - 1) @@ fun () ->
+  match List.find_opt (fun f -> String.equal f.Ir.name fname) st.modul.funcs with
+  | None -> builtin st fname args
+  | Some f ->
+      if List.length args <> List.length f.params then
+        trap "%s called with %d args (expected %d)" fname (List.length args)
+        (List.length f.params);
+      let temps = Array.make (max f.next_temp 1) 0l in
+      List.iteri (fun i v -> temps.(i) <- v) args;
+      (* Allocate this frame's stack slots, 4-aligned, stack grows down. *)
+      let saved_sp = st.sp in
+      let slot_addrs = Hashtbl.create 4 in
+      List.iter
+        (fun (s : Ir.slot) ->
+          st.sp <- st.sp - (4 * s.Ir.size_words);
+          if st.sp <= 0 then trap "stack overflow in %s" fname;
+          Hashtbl.replace slot_addrs s.Ir.slot_id st.sp)
+        f.slots;
+      let ev temps = function
+        | Ir.Temp t -> temps.(t)
+        | Ir.Const c -> c
+      in
+      let entry =
+        match f.blocks with
+        | b :: _ -> b
+        | [] -> trap "%s has no blocks" fname
+      in
+      let ret = ref 0l in
+      (try
+         let rec exec_block (b : Ir.block) =
+           bump st.counts.blocks (fname, b.label);
+           List.iter (exec_instr temps) b.instrs;
+           step st;
+           match b.term with
+           | Ir.Ret None -> ret := 0l
+           | Ir.Ret (Some o) -> ret := ev temps o
+           | Ir.Jmp l -> goto b.label l
+           | Ir.Cbr (rel, a, c, l1, l2) ->
+               if Ir.eval_relop rel (ev temps a) (ev temps c) then
+                 goto b.label l1
+               else goto b.label l2
+           | Ir.Cbr_nz (a, l1, l2) ->
+               if ev temps a <> 0l then goto b.label l1 else goto b.label l2
+         and goto src dst =
+           bump st.counts.edges (fname, src, dst);
+           exec_block (Ir.find_block f dst)
+         and exec_instr temps i =
+           step st;
+           match i with
+           | Ir.Bin (op, t, a, b) -> (
+               let va = ev temps a and vb = ev temps b in
+               match Ir.eval_binop op va vb with
+               | Some v -> temps.(t) <- v
+               | None -> (
+                   match op with
+                   | Ir.Div | Ir.Rem ->
+                       trap "division error in %s (%ld %s %ld)" fname va
+                         (Ir.binop_name op) vb
+                   | Ir.Shl | Ir.Shr | Ir.Sar ->
+                       (* The hardware masks shift counts to 5 bits;
+                          match it. *)
+                       let masked = Int32.logand vb 31l in
+                       temps.(t) <-
+                         Option.get (Ir.eval_binop op va masked)
+                   | _ -> assert false))
+           | Ir.Neg (t, a) -> temps.(t) <- Int32.neg (ev temps a)
+           | Ir.Not (t, a) -> temps.(t) <- Int32.lognot (ev temps a)
+           | Ir.Cmp (rel, t, a, b) ->
+               temps.(t) <-
+                 (if Ir.eval_relop rel (ev temps a) (ev temps b) then 1l else 0l)
+           | Ir.Copy (t, a) -> temps.(t) <- ev temps a
+           | Ir.Load (t, a) -> temps.(t) <- load st (ev temps a)
+           | Ir.Store (a, v) -> store st (ev temps a) (ev temps v)
+           | Ir.Global_addr (t, g) -> (
+               match Hashtbl.find_opt st.global_addrs g with
+               | Some a -> temps.(t) <- Int32.of_int a
+               | None -> trap "unknown global %s" g)
+           | Ir.Stack_addr (t, s) -> (
+               match Hashtbl.find_opt slot_addrs s with
+               | Some a -> temps.(t) <- Int32.of_int a
+               | None -> trap "unknown slot %d in %s" s fname)
+           | Ir.Call (dst, callee, cargs) ->
+               let vals = List.map (ev temps) cargs in
+               let v = call st callee vals in
+               Option.iter (fun t -> temps.(t) <- v) dst
+         in
+         exec_block entry
+       with e ->
+         st.sp <- saved_sp;
+         raise e);
+      st.sp <- saved_sp;
+      !ret
+
+let run ?(fuel = Int64.shift_left 1L 40) ?(mem_words = 1 lsl 20) modul ~entry
+    ~args =
+  let counts =
+    {
+      blocks = Hashtbl.create 64;
+      edges = Hashtbl.create 64;
+      calls = Hashtbl.create 16;
+    }
+  in
+  let st =
+    {
+      modul;
+      mem = Array.make mem_words 0l;
+      mem_bytes = mem_words * 4;
+      global_addrs = Hashtbl.create 16;
+      out = Buffer.create 256;
+      counts;
+      sp = mem_words * 4;
+      depth = 0;
+      steps = 0L;
+      fuel;
+    }
+  in
+  (* Lay out globals from the base, in declaration order, and copy
+     initializers. *)
+  let next = ref globals_base in
+  List.iter
+    (fun (g : Ir.global) ->
+      Hashtbl.replace st.global_addrs g.gname !next;
+      (match g.init with
+      | Some a ->
+          Array.iteri (fun i v -> st.mem.((!next lsr 2) + i) <- v) a
+      | None -> ());
+      next := !next + (4 * g.size_words))
+    modul.globals;
+  if !next > st.mem_bytes then trap "globals exceed memory";
+  let ret =
+    try call st entry args with Program_exit code -> code
+  in
+  { ret; output = Buffer.contents st.out; steps = st.steps; counts }

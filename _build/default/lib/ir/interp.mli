@@ -1,0 +1,39 @@
+(** Reference interpreter for IR modules.
+
+    This is the ground-truth semantics of the system: the x86 backend is
+    correct when the simulator's observable behaviour (return value and
+    output) matches this interpreter's.  It is also the profiling oracle —
+    it counts every basic-block execution and every CFG-edge traversal, so
+    the profile machinery and the optimal-counter-placement reconstruction
+    can be validated against exact counts.
+
+    Memory model: one flat 32-bit byte-addressed space.  Globals are laid
+    out from a fixed base; stack slots are carved from a downward-growing
+    stack.  Word accesses must be 4-aligned.  This mirrors the machine
+    backend's layout so address arithmetic behaves identically. *)
+
+type counts = {
+  blocks : (string * Ir.label, int64) Hashtbl.t;
+      (** executions of each basic block, keyed by (function, label) *)
+  edges : (string * Ir.label * Ir.label, int64) Hashtbl.t;
+      (** traversals of each CFG edge *)
+  calls : (string, int64) Hashtbl.t;  (** invocations per function *)
+}
+
+type result = {
+  ret : int32;  (** return value of the entry function (or exit code) *)
+  output : string;  (** everything written by print builtins *)
+  steps : int64;  (** IR instructions + terminators executed *)
+  counts : counts;
+}
+
+exception Trap of string
+(** Runtime error: division by zero, out-of-bounds or unaligned access,
+    unknown callee, or fuel exhaustion. *)
+
+val run :
+  ?fuel:int64 -> ?mem_words:int -> Ir.modul -> entry:string ->
+  args:int32 list -> result
+(** [run m ~entry ~args] executes [entry] with [args].  [fuel] bounds the
+    step count (default [2^40]); exceeding it raises {!Trap}.
+    [mem_words] sizes the address space (default 1 Mi words = 4 MiB). *)

@@ -1,0 +1,137 @@
+type error = { func : string; message : string }
+
+let builtin_arity = [ ("print_int", 1); ("put_char", 1); ("exit", 1) ]
+
+let err func fmt = Format.kasprintf (fun message -> { func; message }) fmt
+
+let check_func ~known_funcs (f : Ir.func) =
+  let errors = ref [] in
+  let add e = errors := e :: !errors in
+  (* Duplicate labels. *)
+  let labels = List.map (fun b -> b.Ir.label) f.blocks in
+  let rec dups = function
+    | [] -> ()
+    | l :: rest ->
+        if List.mem l rest then add (err f.name "duplicate block label L%d" l);
+        dups rest
+  in
+  dups labels;
+  if f.blocks = [] then add (err f.name "function has no blocks");
+  (* Terminator targets. *)
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          if not (List.mem s labels) then
+            add (err f.name "L%d branches to undefined label L%d" b.Ir.label s))
+        (Ir.successors b.Ir.term))
+    f.blocks;
+  (* Defined temps. *)
+  let defined = Hashtbl.create 64 in
+  List.iter (fun t -> Hashtbl.replace defined t ()) f.params;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match Ir.def_temp i with
+          | Some t -> Hashtbl.replace defined t ()
+          | None -> ())
+        b.Ir.instrs)
+    f.blocks;
+  let check_operand where = function
+    | Ir.Const _ -> ()
+    | Ir.Temp t ->
+        if not (Hashtbl.mem defined t) then
+          add (err f.name "%s uses undefined temp t%d" where t)
+  in
+  let slot_ids = List.map (fun s -> s.Ir.slot_id) f.slots in
+  List.iter
+    (fun (s : Ir.slot) ->
+      if s.Ir.size_words <= 0 then
+        add (err f.name "slot%d has non-positive size" s.Ir.slot_id))
+    f.slots;
+  List.iter
+    (fun b ->
+      let where = Printf.sprintf "L%d" b.Ir.label in
+      List.iter
+        (fun i ->
+          List.iter (check_operand where) (Ir.instr_uses i);
+          (match i with
+          | Ir.Stack_addr (_, s) when not (List.mem s slot_ids) ->
+              add (err f.name "%s references undefined slot%d" where s)
+          | Ir.Call (_, callee, args) -> (
+              match List.assoc_opt callee known_funcs with
+              | None -> add (err f.name "%s calls unknown function %s" where callee)
+              | Some arity ->
+                  if List.length args <> arity then
+                    add
+                      (err f.name "%s calls %s with %d args (expected %d)"
+                         where callee (List.length args) arity))
+          | _ -> ()))
+        b.Ir.instrs;
+      List.iter (check_operand where) (Ir.term_uses b.Ir.term))
+    f.blocks;
+  List.rev !errors
+
+let check_modul (m : Ir.modul) =
+  let errors = ref [] in
+  let add e = errors := e :: !errors in
+  let rec dups = function
+    | [] -> ()
+    | (g : Ir.global) :: rest ->
+        if List.exists (fun (h : Ir.global) -> String.equal g.gname h.gname) rest
+        then add (err "<module>" "duplicate global %s" g.gname);
+        dups rest
+  in
+  dups m.globals;
+  List.iter
+    (fun (g : Ir.global) ->
+      if g.size_words <= 0 then
+        add (err "<module>" "global %s has non-positive size" g.gname);
+      match g.init with
+      | Some a when Array.length a > g.size_words ->
+          add (err "<module>" "global %s initializer too large" g.gname)
+      | _ -> ())
+    m.globals;
+  let known_funcs =
+    builtin_arity
+    @ List.map (fun (f : Ir.func) -> (f.name, List.length f.params)) m.funcs
+  in
+  let rec fdups = function
+    | [] -> ()
+    | (f : Ir.func) :: rest ->
+        if List.exists (fun (g : Ir.func) -> String.equal f.name g.name) rest
+        then add (err "<module>" "duplicate function %s" f.name);
+        fdups rest
+  in
+  fdups m.funcs;
+  let gnames = List.map (fun g -> g.Ir.gname) m.globals in
+  let func_errors =
+    List.concat_map
+      (fun (f : Ir.func) ->
+        let es = check_func ~known_funcs f in
+        let ges =
+          List.concat_map
+            (fun b ->
+              List.filter_map
+                (function
+                  | Ir.Global_addr (_, g) when not (List.mem g gnames) ->
+                      Some (err f.name "references undefined global %s" g)
+                  | _ -> None)
+                b.Ir.instrs)
+            f.blocks
+        in
+        es @ ges)
+      m.funcs
+  in
+  List.rev !errors @ func_errors
+
+let check_exn m =
+  match check_modul m with
+  | [] -> ()
+  | errs ->
+      let msg =
+        String.concat "\n"
+          (List.map (fun e -> Printf.sprintf "%s: %s" e.func e.message) errs)
+      in
+      failwith ("IR verification failed:\n" ^ msg)

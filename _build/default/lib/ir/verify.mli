@@ -1,0 +1,28 @@
+(** Structural well-formedness checks for IR modules.
+
+    Run after the frontend and after each optimization pass (the pass
+    manager does this in debug mode); catching a malformed module here is
+    vastly cheaper than debugging the code generator downstream. *)
+
+type error = { func : string; message : string }
+
+val check_func : known_funcs:(string * int) list -> Ir.func -> error list
+(** [known_funcs] maps every callable name (module functions and builtins)
+    to its arity.  Checks performed: duplicate block labels; terminator
+    targets exist; temps used before any definition (conservative:
+    a temp must be a parameter or defined somewhere in the function);
+    calls have known callees with matching arity; stack slots referenced
+    exist; slot sizes positive. *)
+
+val check_modul : Ir.modul -> error list
+(** Checks every function, plus global-name uniqueness, positive global
+    sizes, initializer sizes, and [Global_addr] referring to declared
+    globals.  Builtin arities are taken from {!builtin_arity}. *)
+
+val builtin_arity : (string * int) list
+(** The runtime builtins every program may call: [print_int/1],
+    [put_char/1], [exit/1]. *)
+
+val check_exn : Ir.modul -> unit
+(** Raise [Failure] with a readable message if {!check_modul} reports
+    anything. *)

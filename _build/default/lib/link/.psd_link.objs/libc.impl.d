@@ -1,0 +1,1 @@
+lib/link/libc.ml: Asm Cond Insn Int32 List Printf Reg

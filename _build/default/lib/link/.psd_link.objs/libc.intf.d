@@ -1,0 +1,1 @@
+lib/link/libc.mli: Asm

@@ -1,0 +1,1 @@
+lib/link/link.ml: Asm Bytes Char Fun Hashtbl Int32 Ir Libc List Marshal Printf String

@@ -1,0 +1,1 @@
+lib/link/link.mli: Asm Ir

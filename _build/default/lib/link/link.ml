@@ -1,0 +1,149 @@
+type image = {
+  text : string;
+  text_base : int32;
+  symbols : (string * int) list;
+  entry : int;
+  user_start : int;
+  globals : (string * int32) list;
+  data_init : (int32 * int32 array) list;
+  main_arity : int;
+}
+
+let text_base = 0x08048000l
+let data_base = 0x1000l
+let stack_top = 0x400000l (* 4 MiB *)
+
+let argv_address image =
+  match List.assoc_opt Libc.argv_symbol image.globals with
+  | Some a -> a
+  | None -> failwith "Link.argv_address: __argv missing"
+
+let link ~funcs ~globals ~main_arity =
+  if not (List.exists (fun (f : Asm.func) -> f.name = "main") funcs) then
+    failwith "Link.link: no main function";
+  let all_funcs = (Libc.start ~main:"main" ~main_arity :: Libc.funcs) @ funcs in
+  (* Duplicate detection across user and library symbols. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Asm.func) ->
+      if Hashtbl.mem seen f.name then
+        failwith ("Link.link: duplicate symbol " ^ f.name);
+      Hashtbl.replace seen f.name ())
+    all_funcs;
+  (* Lay out the data space: __argv first, then the program's globals. *)
+  let globals_with_argv =
+    { Ir.gname = Libc.argv_symbol; size_words = Libc.argv_words; init = None }
+    :: globals
+  in
+  let global_addrs, data_init =
+    let next = ref data_base in
+    List.fold_left
+      (fun (addrs, inits) (g : Ir.global) ->
+        let addr = !next in
+        next := Int32.add !next (Int32.of_int (4 * g.size_words));
+        let inits =
+          match g.init with Some a -> (addr, a) :: inits | None -> inits
+        in
+        ((g.gname, addr) :: addrs, inits))
+      ([], []) globals_with_argv
+  in
+  let global_addrs = List.rev global_addrs in
+  (* Assemble every function and lay text out sequentially. *)
+  let assembled = List.map (fun f -> (f, Asm.assemble f)) all_funcs in
+  let offsets = Hashtbl.create 16 in
+  let total =
+    List.fold_left
+      (fun off ((f : Asm.func), (a : Asm.assembled)) ->
+        Hashtbl.replace offsets f.name off;
+        off + String.length a.bytes)
+      0 assembled
+  in
+  let text = Bytes.create total in
+  let patch32 pos (v : int32) =
+    Bytes.set text pos (Char.chr (Int32.to_int v land 0xFF));
+    Bytes.set text (pos + 1)
+      (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xFF));
+    Bytes.set text (pos + 2)
+      (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xFF));
+    Bytes.set text (pos + 3)
+      (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xFF))
+  in
+  List.iter
+    (fun ((f : Asm.func), (a : Asm.assembled)) ->
+      let base = Hashtbl.find offsets f.name in
+      Bytes.blit_string a.bytes 0 text base (String.length a.bytes);
+      List.iter
+        (fun reloc ->
+          match reloc with
+          | Asm.Rel32 (site, sym) -> (
+              match Hashtbl.find_opt offsets sym with
+              | Some target ->
+                  (* rel32 is relative to the end of the 4-byte field. *)
+                  patch32 (base + site)
+                    (Int32.of_int (target - (base + site + 4)))
+              | None ->
+                  failwith
+                    (Printf.sprintf "Link.link: %s: undefined function %s"
+                       f.name sym))
+          | Asm.Abs32 (site, sym) -> (
+              match List.assoc_opt sym global_addrs with
+              | Some addr -> patch32 (base + site) addr
+              | None ->
+                  failwith
+                    (Printf.sprintf "Link.link: %s: undefined global %s"
+                       f.name sym)))
+        a.relocs)
+    assembled;
+  let symbols =
+    List.map
+      (fun ((f : Asm.func), _) -> (f.name, Hashtbl.find offsets f.name))
+      assembled
+  in
+  let user_start =
+    (* The first user function follows the fixed runtime block. *)
+    match funcs with
+    | [] -> total
+    | f :: _ -> Hashtbl.find offsets f.Asm.name
+  in
+  {
+    text = Bytes.to_string text;
+    text_base;
+    symbols;
+    entry = Hashtbl.find offsets Libc.start_symbol;
+    user_start;
+    globals = global_addrs;
+    data_init;
+    main_arity;
+  }
+
+let symbol_offset image name =
+  match List.assoc_opt name image.symbols with
+  | Some o -> o
+  | None -> failwith ("Link.symbol_offset: unknown symbol " ^ name)
+
+let user_text image =
+  String.sub image.text image.user_start
+    (String.length image.text - image.user_start)
+
+let magic = "PSDIMG01"
+
+let save image path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      Marshal.to_channel oc image [])
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let header = really_input_string ic (String.length magic) in
+      if not (String.equal header magic) then
+        failwith (path ^ ": not a PSD image file");
+      match (Marshal.from_channel ic : image) with
+      | image -> image
+      | exception (End_of_file | Failure _) ->
+          failwith (path ^ ": truncated or corrupt image"))

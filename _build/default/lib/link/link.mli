@@ -1,0 +1,51 @@
+(** The linker: symbolic assembly functions to an executable image.
+
+    Layout: the entry stub and the library functions first, at fixed
+    offsets (undiversified, like the real crt0/libc objects the paper
+    blames for its surviving-gadget floor), then the user's functions in
+    order.  After layout, the two relocation kinds are patched: [Rel32]
+    call displacements and [Abs32] global data addresses.
+
+    The data address space is separate from text (Harvard-style in the
+    simulator, matching W⊕X): globals start at {!data_base}, the stack
+    grows down from {!stack_top}. *)
+
+type image = {
+  text : string;  (** the final .text bytes *)
+  text_base : int32;  (** virtual address of the first text byte *)
+  symbols : (string * int) list;  (** function -> text offset *)
+  entry : int;  (** text offset of the entry stub *)
+  user_start : int;  (** text offset where (diversifiable) user code begins *)
+  globals : (string * int32) list;  (** global -> absolute data address *)
+  data_init : (int32 * int32 array) list;  (** address -> initial words *)
+  main_arity : int;
+}
+
+val text_base : int32
+(** 0x08048000, the classic Linux fixed load address the paper cites. *)
+
+val data_base : int32
+val stack_top : int32
+val argv_address : image -> int32
+(** Where the simulator must write the program arguments. *)
+
+val link : funcs:Asm.func list -> globals:Ir.global list -> main_arity:int -> image
+(** Link user functions (already diversified or not) against the runtime.
+    [funcs] must contain a function named ["main"] with [main_arity]
+    parameters.  Raises [Failure] on unresolved or duplicate symbols. *)
+
+val symbol_offset : image -> string -> int
+(** Text offset of a function.  Raises [Failure] if absent. *)
+
+val user_text : image -> string
+(** The slice of [.text] holding user code only — what the diversifying
+    transformations actually changed.  (Survivor runs on the whole
+    section; this accessor supports libc-vs-user breakdowns.) *)
+
+val save : image -> string -> unit
+(** Write an image to a file (the CLI's binary format: a magic header
+    followed by a marshalled record). *)
+
+val load : string -> image
+(** Inverse of {!save}.  Raises [Failure] on bad magic or a truncated
+    file. *)

@@ -1,0 +1,1 @@
+lib/machine/asm.pp.ml: Buffer Cond Encode Format Hashtbl Insn Int32 Ir List Printf Reg

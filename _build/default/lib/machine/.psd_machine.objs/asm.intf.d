@@ -1,0 +1,1 @@
+lib/machine/asm.pp.mli: Cond Format Insn Ir Reg

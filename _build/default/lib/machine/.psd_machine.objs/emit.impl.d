@@ -1,0 +1,1 @@
+lib/machine/emit.pp.ml: Asm Cond Insn Int32 Ir Isel List Mir Printf Reg Regalloc

@@ -1,0 +1,1 @@
+lib/machine/emit.pp.mli: Asm Ir Mir Regalloc

@@ -1,0 +1,1 @@
+lib/machine/isel.pp.ml: Ir List Mir Option

@@ -1,0 +1,1 @@
+lib/machine/isel.pp.mli: Ir Mir

@@ -1,0 +1,1 @@
+lib/machine/liveness.pp.ml: Int List Map Mir Set

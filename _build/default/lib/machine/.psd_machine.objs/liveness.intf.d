@@ -1,0 +1,1 @@
+lib/machine/liveness.pp.mli: Ir Mir Set

@@ -1,0 +1,1 @@
+lib/machine/mir.pp.ml: Format Ir List Option Ppx_deriving_runtime Reg

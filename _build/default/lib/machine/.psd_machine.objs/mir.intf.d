@@ -1,0 +1,1 @@
+lib/machine/mir.pp.mli: Format Ir Ppx_deriving_runtime Reg

@@ -1,0 +1,1 @@
+lib/machine/regalloc.pp.ml: Hashtbl List Liveness Mir Option Printf Reg

@@ -1,0 +1,1 @@
+lib/machine/regalloc.pp.mli: Hashtbl Mir Reg

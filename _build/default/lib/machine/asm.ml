@@ -1,0 +1,100 @@
+type item =
+  | Label of Ir.label
+  | Ins of Insn.t
+  | Jmp_sym of Ir.label
+  | Jcc_sym of Cond.t * Ir.label
+  | Call_sym of string
+  | Mov_sym of Reg.t * string
+
+type func = { name : string; items : item list }
+
+type reloc = Rel32 of int * string | Abs32 of int * string
+
+type assembled = {
+  bytes : string;
+  relocs : reloc list;
+  label_offsets : (Ir.label * int) list;
+}
+
+let item_size = function
+  | Label _ -> 0
+  | Ins i -> Encode.length i
+  | Jmp_sym _ -> 5 (* E9 rel32 *)
+  | Jcc_sym _ -> 6 (* 0F 8x rel32 *)
+  | Call_sym _ -> 5 (* E8 rel32 *)
+  | Mov_sym _ -> 5 (* B8+r imm32 *)
+
+let func_size f = List.fold_left (fun acc i -> acc + item_size i) 0 f.items
+
+let assemble f =
+  (* Pass 1: label offsets. *)
+  let offsets = Hashtbl.create 16 in
+  let labels_in_order = ref [] in
+  let pos = ref 0 in
+  List.iter
+    (fun item ->
+      (match item with
+      | Label l ->
+          Hashtbl.replace offsets l !pos;
+          labels_in_order := (l, !pos) :: !labels_in_order
+      | _ -> ());
+      pos := !pos + item_size item)
+    f.items;
+  let target l =
+    match Hashtbl.find_opt offsets l with
+    | Some o -> o
+    | None -> failwith (Printf.sprintf "Asm.assemble: unknown label L%d in %s" l f.name)
+  in
+  (* Pass 2: bytes.  Branch displacements are relative to the end of the
+     branch instruction. *)
+  let buf = Buffer.create 256 in
+  let relocs = ref [] in
+  List.iter
+    (fun item ->
+      let here = Buffer.length buf in
+      match item with
+      | Label _ -> ()
+      | Ins i -> Encode.insn_into buf i
+      | Jmp_sym l ->
+          Encode.insn_into buf (Insn.Jmp_rel (Int32.of_int (target l - (here + 5))))
+      | Jcc_sym (c, l) ->
+          Encode.insn_into buf (Insn.Jcc (c, Int32.of_int (target l - (here + 6))))
+      | Call_sym sym ->
+          relocs := Rel32 (here + 1, sym) :: !relocs;
+          Encode.insn_into buf (Insn.Call_rel 0l)
+      | Mov_sym (r, sym) ->
+          relocs := Abs32 (here + 1, sym) :: !relocs;
+          Encode.insn_into buf (Insn.Mov_r_imm (r, 0l)))
+    f.items;
+  {
+    bytes = Buffer.contents buf;
+    relocs = List.rev !relocs;
+    label_offsets = List.rev !labels_in_order;
+  }
+
+let map_insns fn f =
+  let current = ref None in
+  let items =
+    List.concat_map
+      (fun item ->
+        (match item with Label l -> current := Some l | _ -> ());
+        fn !current item)
+      f.items
+  in
+  { f with items }
+
+let insns f =
+  List.filter_map (function Ins i -> Some i | _ -> None) f.items
+
+let pp ppf f =
+  Format.fprintf ppf "%s:@." f.name;
+  List.iter
+    (fun item ->
+      match item with
+      | Label l -> Format.fprintf ppf "L%d:@." l
+      | Ins i -> Format.fprintf ppf "  %a@." Insn.pp i
+      | Jmp_sym l -> Format.fprintf ppf "  jmp L%d@." l
+      | Jcc_sym (c, l) -> Format.fprintf ppf "  j%s L%d@." (Cond.name c) l
+      | Call_sym s -> Format.fprintf ppf "  call %s@." s
+      | Mov_sym (r, s) -> Format.fprintf ppf "  mov $%s, %%%s@." s (Reg.name r))
+    f.items

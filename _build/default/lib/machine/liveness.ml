@@ -1,0 +1,73 @@
+module ISet = Set.Make (Int)
+module IMap = Map.Make (Int)
+
+type t = { ins : ISet.t IMap.t; outs : ISet.t IMap.t }
+
+let virts regs =
+  List.filter_map (function Mir.Virt v -> Some v | Mir.Phys _ -> None) regs
+
+let virt_uses i = virts (Mir.uses i)
+let virt_defs i = virts (Mir.defs i)
+let term_virt_uses t = virts (Mir.term_uses t)
+
+(* Block-local gen/kill: [use] is the set of virts read before any write
+   in the block; [def] is everything written. *)
+let block_use_def (b : Mir.block) =
+  let use = ref ISet.empty and def = ref ISet.empty in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun v -> if not (ISet.mem v !def) then use := ISet.add v !use)
+        (virt_uses i);
+      List.iter (fun v -> def := ISet.add v !def) (virt_defs i))
+    b.insns;
+  List.iter
+    (fun v -> if not (ISet.mem v !def) then use := ISet.add v !use)
+    (term_virt_uses b.term);
+  (!use, !def)
+
+let analyze (f : Mir.func) =
+  let use_def =
+    List.fold_left
+      (fun m b -> IMap.add b.Mir.label (block_use_def b) m)
+      IMap.empty f.blocks
+  in
+  let succs =
+    List.fold_left
+      (fun m b -> IMap.add b.Mir.label (Mir.successors b.Mir.term) m)
+      IMap.empty f.blocks
+  in
+  let ins = ref IMap.empty and outs = ref IMap.empty in
+  List.iter
+    (fun b ->
+      ins := IMap.add b.Mir.label ISet.empty !ins;
+      outs := IMap.add b.Mir.label ISet.empty !outs)
+    f.blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Reverse layout order converges quickly for reducible CFGs. *)
+    List.iter
+      (fun b ->
+        let l = b.Mir.label in
+        let out =
+          List.fold_left
+            (fun acc s -> ISet.union acc (IMap.find s !ins))
+            ISet.empty (IMap.find l succs)
+        in
+        let use, def = IMap.find l use_def in
+        let inn = ISet.union use (ISet.diff out def) in
+        if not (ISet.equal out (IMap.find l !outs)) then begin
+          outs := IMap.add l out !outs;
+          changed := true
+        end;
+        if not (ISet.equal inn (IMap.find l !ins)) then begin
+          ins := IMap.add l inn !ins;
+          changed := true
+        end)
+      (List.rev f.blocks)
+  done;
+  { ins = !ins; outs = !outs }
+
+let live_in t l = IMap.find l t.ins
+let live_out t l = IMap.find l t.outs

@@ -1,0 +1,21 @@
+(** Backward liveness analysis over machine-IR virtual registers.
+
+    Standard iterative dataflow on the block CFG:
+    [live_in(b) = use(b) ∪ (live_out(b) \ def(b))],
+    [live_out(b) = ∪ live_in(succ)].  Physical registers are ignored —
+    they only occur inside single-instruction expansions and never carry
+    values across instructions. *)
+
+module ISet : Set.S with type elt = int
+
+type t
+
+val analyze : Mir.func -> t
+val live_in : t -> Ir.label -> ISet.t
+val live_out : t -> Ir.label -> ISet.t
+
+val virt_uses : Mir.minsn -> int list
+(** Virtual registers read by one instruction. *)
+
+val virt_defs : Mir.minsn -> int list
+val term_virt_uses : Mir.mterm -> int list

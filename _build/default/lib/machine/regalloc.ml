@@ -1,0 +1,111 @@
+type loc = Lreg of Reg.t | Lspill of int
+
+type assignment = {
+  locs : (int, loc) Hashtbl.t;
+  used_callee_saved : Reg.t list;
+  spill_count : int;
+}
+
+let pool = [ Reg.EBX; Reg.ESI; Reg.EDI ]
+
+type interval = { vreg : int; start : int; stop : int }
+
+(* Number every instruction (and terminator) in layout order and build one
+   coarse interval per virtual register. *)
+let intervals (f : Mir.func) =
+  let live = Liveness.analyze f in
+  let first = Hashtbl.create 64 and last = Hashtbl.create 64 in
+  let touch v pos =
+    if not (Hashtbl.mem first v) then Hashtbl.replace first v pos;
+    let old = Option.value (Hashtbl.find_opt last v) ~default:pos in
+    Hashtbl.replace last v (max old pos)
+  in
+  let pos = ref 0 in
+  List.iter
+    (fun (b : Mir.block) ->
+      let block_start = !pos in
+      List.iter
+        (fun i ->
+          List.iter (fun v -> touch v !pos) (Liveness.virt_uses i);
+          List.iter (fun v -> touch v !pos) (Liveness.virt_defs i);
+          incr pos)
+        b.insns;
+      List.iter (fun v -> touch v !pos) (Liveness.term_virt_uses b.term);
+      let block_end = !pos in
+      incr pos;
+      (* Anything live across this block's boundaries spans it whole. *)
+      Liveness.ISet.iter
+        (fun v ->
+          touch v block_start;
+          touch v block_end)
+        (Liveness.live_out live b.label);
+      Liveness.ISet.iter (fun v -> touch v block_start)
+        (Liveness.live_in live b.label))
+    f.blocks;
+  let ivs =
+    Hashtbl.fold
+      (fun v start acc ->
+        { vreg = v; start; stop = Hashtbl.find last v } :: acc)
+      first []
+  in
+  List.sort (fun a b -> compare (a.start, a.vreg) (b.start, b.vreg)) ivs
+
+let allocate (f : Mir.func) =
+  let ivs = intervals f in
+  let locs = Hashtbl.create 64 in
+  let free = ref pool in
+  let active = ref ([] : (interval * Reg.t) list) in
+  let used = ref [] in
+  let spills = ref 0 in
+  let spill_slot () =
+    let s = !spills in
+    incr spills;
+    Lspill s
+  in
+  let expire current =
+    let still, done_ =
+      List.partition (fun (iv, _) -> iv.stop >= current.start) !active
+    in
+    List.iter (fun (_, r) -> free := r :: !free) done_;
+    active := still
+  in
+  List.iter
+    (fun iv ->
+      expire iv;
+      match !free with
+      | r :: rest ->
+          free := rest;
+          if not (List.mem r !used) then used := r :: !used;
+          Hashtbl.replace locs iv.vreg (Lreg r);
+          active := (iv, r) :: !active
+      | [] ->
+          (* Spill the interval that ends furthest away — it blocks the
+             register for longest. *)
+          let furthest =
+            List.fold_left
+              (fun (best : (interval * Reg.t) option) (cand, r) ->
+                match best with
+                | Some (b, _) when b.stop >= cand.stop -> best
+                | _ -> Some (cand, r))
+              None !active
+          in
+          (match furthest with
+          | Some (victim, r) when victim.stop > iv.stop ->
+              (* Steal the victim's register. *)
+              Hashtbl.replace locs victim.vreg (spill_slot ());
+              Hashtbl.replace locs iv.vreg (Lreg r);
+              active :=
+                (iv, r) :: List.filter (fun (a, _) -> a != victim) !active
+          | _ -> Hashtbl.replace locs iv.vreg (spill_slot ())))
+    ivs;
+  {
+    locs;
+    used_callee_saved = List.filter (fun r -> List.mem r !used) pool;
+    spill_count = !spills;
+  }
+
+let loc_of a v =
+  match Hashtbl.find_opt a.locs v with
+  | Some l -> l
+  | None ->
+      invalid_arg (Printf.sprintf "Regalloc.loc_of: unknown virtual v%d" v)

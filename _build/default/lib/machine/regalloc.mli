@@ -1,0 +1,28 @@
+(** Linear-scan register allocation (Poletto & Sarkar, TOPLAS 1999).
+
+    Virtual registers are assigned from the callee-saved pool
+    (EBX, ESI, EDI); everything else spills to frame slots.  EAX, ECX and
+    EDX are reserved as expansion scratch for {!Emit} (division, shift
+    counts, memory-to-memory moves), which is what lets every spilled
+    operand be handled without a second allocation round.
+
+    Live intervals are the conventional coarse ones: one interval per
+    virtual register spanning its first definition to its last use (block
+    live-out extends an interval to the end of that block). *)
+
+type loc = Lreg of Reg.t | Lspill of int  (** spill index, frame-resolved *)
+
+type assignment = {
+  locs : (int, loc) Hashtbl.t;  (** virtual register -> location *)
+  used_callee_saved : Reg.t list;  (** which of the pool actually used *)
+  spill_count : int;
+}
+
+val pool : Reg.t list
+(** The allocatable registers, in preference order. *)
+
+val allocate : Mir.func -> assignment
+
+val loc_of : assignment -> int -> loc
+(** Location of a virtual register.  Raises [Invalid_argument] for an
+    unknown register (one never defined or used). *)

@@ -1,0 +1,1 @@
+lib/opt/constfold.ml: Int32 Ir List

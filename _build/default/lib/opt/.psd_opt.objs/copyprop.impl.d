@@ -1,0 +1,1 @@
+lib/opt/copyprop.ml: Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Constfold Copyprop Cse Dce Ir List Simplify_cfg Verify

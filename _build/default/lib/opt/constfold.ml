@@ -1,0 +1,64 @@
+let changed = ref false
+
+let mark x =
+  changed := true;
+  x
+
+(* Algebraic identities on one known operand.  Only rewrites that are
+   valid for every value of the unknown side. *)
+let simplify_bin op dst a b =
+  let open Ir in
+  match (op, a, b) with
+  | Add, x, Const 0l | Add, Const 0l, x -> Some (Copy (dst, x))
+  | Sub, x, Const 0l -> Some (Copy (dst, x))
+  | Mul, x, Const 1l | Mul, Const 1l, x -> Some (Copy (dst, x))
+  | Mul, _, Const 0l | Mul, Const 0l, _ -> Some (Copy (dst, Const 0l))
+  | Div, x, Const 1l -> Some (Copy (dst, x))
+  | And, _, Const 0l | And, Const 0l, _ -> Some (Copy (dst, Const 0l))
+  | And, x, Const -1l | And, Const -1l, x -> Some (Copy (dst, x))
+  | Or, x, Const 0l | Or, Const 0l, x -> Some (Copy (dst, x))
+  | Or, _, Const -1l | Or, Const -1l, _ -> Some (Copy (dst, Const (-1l)))
+  | Xor, x, Const 0l | Xor, Const 0l, x -> Some (Copy (dst, x))
+  | Xor, Temp x, Temp y when x = y -> Some (Copy (dst, Const 0l))
+  | Sub, Temp x, Temp y when x = y -> Some (Copy (dst, Const 0l))
+  | (Shl | Shr | Sar), x, Const 0l -> Some (Copy (dst, x))
+  | _ -> None
+
+let fold_instr (i : Ir.instr) : Ir.instr =
+  match i with
+  | Ir.Bin (op, dst, Const a, Const b) -> (
+      match Ir.eval_binop op a b with
+      | Some v -> mark (Ir.Copy (dst, Const v))
+      | None -> i (* runtime trap or masked shift: leave it *))
+  | Ir.Bin (op, dst, a, b) -> (
+      match simplify_bin op dst a b with Some i' -> mark i' | None -> i)
+  | Ir.Cmp (rel, dst, Const a, Const b) ->
+      mark (Ir.Copy (dst, Const (if Ir.eval_relop rel a b then 1l else 0l)))
+  | Ir.Cmp (rel, dst, Temp x, Temp y) when x = y ->
+      let v =
+        match rel with
+        | Ir.Eq | Ir.Le | Ir.Ge -> 1l
+        | Ir.Ne | Ir.Lt | Ir.Gt -> 0l
+      in
+      mark (Ir.Copy (dst, Const v))
+  | Ir.Neg (dst, Const a) -> mark (Ir.Copy (dst, Const (Int32.neg a)))
+  | Ir.Not (dst, Const a) -> mark (Ir.Copy (dst, Const (Int32.lognot a)))
+  | _ -> i
+
+let fold_term (t : Ir.terminator) : Ir.terminator =
+  match t with
+  | Ir.Cbr (rel, Const a, Const b, l1, l2) ->
+      mark (Ir.Jmp (if Ir.eval_relop rel a b then l1 else l2))
+  | Ir.Cbr_nz (Const v, l1, l2) -> mark (Ir.Jmp (if v <> 0l then l1 else l2))
+  | Ir.Cbr (_, _, _, l1, l2) when l1 = l2 -> mark (Ir.Jmp l1)
+  | Ir.Cbr_nz (_, l1, l2) when l1 = l2 -> mark (Ir.Jmp l1)
+  | _ -> t
+
+let run (f : Ir.func) =
+  changed := false;
+  List.iter
+    (fun b ->
+      b.Ir.instrs <- List.map fold_instr b.Ir.instrs;
+      b.Ir.term <- fold_term b.Ir.term)
+    f.blocks;
+  !changed

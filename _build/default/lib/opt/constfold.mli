@@ -1,0 +1,10 @@
+(** Constant folding and algebraic simplification.
+
+    Folds pure instructions whose operands are constants, applies identity
+    rules ([x+0], [x*1], [x*0], [x&0], [x|0], [x^x], shifts by 0), and
+    folds conditional branches with decidable conditions into jumps.
+    Division by a zero constant is {e not} folded — the trap must remain a
+    runtime event, exactly as in a production compiler. *)
+
+val run : Ir.func -> bool
+(** Returns [true] if anything changed. *)

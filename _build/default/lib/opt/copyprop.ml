@@ -1,0 +1,62 @@
+(* The environment maps a temp to the operand it currently equals.  An
+   entry is killed when its key or its source temp is redefined. *)
+
+let run (f : Ir.func) =
+  let changed = ref false in
+  let prop_block (b : Ir.block) =
+    let env : (Ir.temp, Ir.operand) Hashtbl.t = Hashtbl.create 16 in
+    let subst op =
+      match op with
+      | Ir.Temp t -> (
+          match Hashtbl.find_opt env t with
+          | Some o ->
+              changed := true;
+              o
+          | None -> op)
+      | Ir.Const _ -> op
+    in
+    let kill t =
+      Hashtbl.remove env t;
+      (* Drop any entry whose source is t. *)
+      let stale =
+        Hashtbl.fold
+          (fun k v acc ->
+            match v with Ir.Temp s when s = t -> k :: acc | _ -> acc)
+          env []
+      in
+      List.iter (Hashtbl.remove env) stale
+    in
+    let rewrite (i : Ir.instr) : Ir.instr =
+      let i' =
+        match i with
+        | Ir.Bin (op, d, a, b) -> Ir.Bin (op, d, subst a, subst b)
+        | Ir.Neg (d, a) -> Ir.Neg (d, subst a)
+        | Ir.Not (d, a) -> Ir.Not (d, subst a)
+        | Ir.Cmp (r, d, a, b) -> Ir.Cmp (r, d, subst a, subst b)
+        | Ir.Copy (d, a) -> Ir.Copy (d, subst a)
+        | Ir.Load (d, a) -> Ir.Load (d, subst a)
+        | Ir.Store (a, v) -> Ir.Store (subst a, subst v)
+        | Ir.Global_addr _ | Ir.Stack_addr _ -> i
+        | Ir.Call (d, f, args) -> Ir.Call (d, f, List.map subst args)
+      in
+      (match Ir.def_temp i' with
+      | Some d -> (
+          kill d;
+          match i' with
+          | Ir.Copy (_, (Ir.Const _ as src)) -> Hashtbl.replace env d src
+          | Ir.Copy (_, (Ir.Temp s as src)) when s <> d ->
+              Hashtbl.replace env d src
+          | _ -> ())
+      | None -> ());
+      i'
+    in
+    b.Ir.instrs <- List.map rewrite b.Ir.instrs;
+    b.Ir.term <-
+      (match b.Ir.term with
+      | Ir.Ret (Some o) -> Ir.Ret (Some (subst o))
+      | Ir.Ret None | Ir.Jmp _ -> b.Ir.term
+      | Ir.Cbr (r, a, c, l1, l2) -> Ir.Cbr (r, subst a, subst c, l1, l2)
+      | Ir.Cbr_nz (a, l1, l2) -> Ir.Cbr_nz (subst a, l1, l2))
+  in
+  List.iter prop_block f.blocks;
+  !changed

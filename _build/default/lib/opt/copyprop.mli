@@ -1,0 +1,10 @@
+(** Block-local copy and constant propagation.
+
+    Within one basic block, a use of [t] after [t <- c] (constant) or
+    [t <- s] (copy) is replaced by [c]/[s], as long as neither side has
+    been redefined in between.  Restricting to a single block keeps the
+    analysis trivially sound in this non-SSA IR; the CFG simplifier's
+    block merging extends its reach across former block boundaries. *)
+
+val run : Ir.func -> bool
+(** Returns [true] if anything changed. *)

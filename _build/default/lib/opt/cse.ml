@@ -1,0 +1,94 @@
+(* The expression key abstracts the defined temp away so two instructions
+   computing the same value compare equal. *)
+type key =
+  | Kbin of Ir.binop * Ir.operand * Ir.operand
+  | Kneg of Ir.operand
+  | Knot of Ir.operand
+  | Kcmp of Ir.relop * Ir.operand * Ir.operand
+  | Kload of Ir.operand
+  | Kgaddr of string
+  | Ksaddr of int
+
+let key_of (i : Ir.instr) : key option =
+  match i with
+  | Ir.Bin (op, _, a, b) -> Some (Kbin (op, a, b))
+  | Ir.Neg (_, a) -> Some (Kneg a)
+  | Ir.Not (_, a) -> Some (Knot a)
+  | Ir.Cmp (r, _, a, b) -> Some (Kcmp (r, a, b))
+  | Ir.Load (_, a) -> Some (Kload a)
+  | Ir.Global_addr (_, g) -> Some (Kgaddr g)
+  | Ir.Stack_addr (_, s) -> Some (Ksaddr s)
+  | Ir.Copy _ | Ir.Store _ | Ir.Call _ -> None
+
+let key_operands = function
+  | Kbin (_, a, b) | Kcmp (_, a, b) -> [ a; b ]
+  | Kneg a | Knot a | Kload a -> [ a ]
+  | Kgaddr _ | Ksaddr _ -> []
+
+let is_load = function Kload _ -> true | _ -> false
+
+let run (f : Ir.func) =
+  let changed = ref false in
+  let cse_block (b : Ir.block) =
+    (* available: expression key -> temp currently holding its value *)
+    let available : (key, Ir.temp) Hashtbl.t = Hashtbl.create 16 in
+    let kill_temp t =
+      let stale =
+        Hashtbl.fold
+          (fun k v acc ->
+            let mentions =
+              v = t
+              || List.exists
+                   (function Ir.Temp u -> u = t | Ir.Const _ -> false)
+                   (key_operands k)
+            in
+            if mentions then k :: acc else acc)
+          available []
+      in
+      List.iter (Hashtbl.remove available) stale
+    in
+    let kill_loads () =
+      let stale =
+        Hashtbl.fold
+          (fun k _ acc -> if is_load k then k :: acc else acc)
+          available []
+      in
+      List.iter (Hashtbl.remove available) stale
+    in
+    let rewrite (i : Ir.instr) : Ir.instr =
+      match key_of i with
+      | Some k -> (
+          match (Hashtbl.find_opt available k, Ir.def_temp i) with
+          | Some prev, Some d ->
+              changed := true;
+              kill_temp d;
+              (* The copy re-establishes availability only if d itself is
+                 not an operand of the expression. *)
+              Ir.Copy (d, Ir.Temp prev)
+          | None, Some d ->
+              kill_temp d;
+              (* Do not record expressions that consume their own result
+                 (e.g. [t <- t + 1]): after the redefinition the key no
+                 longer describes the stored value. *)
+              let self_referential =
+                List.exists
+                  (function Ir.Temp u -> u = d | Ir.Const _ -> false)
+                  (key_operands k)
+              in
+              if not self_referential then Hashtbl.replace available k d;
+              i
+          | _, None -> i)
+      | None ->
+          (match i with
+          | Ir.Store _ -> kill_loads ()
+          | Ir.Call _ ->
+              (* A call may read and write memory. *)
+              kill_loads ()
+          | _ -> ());
+          (match Ir.def_temp i with Some d -> kill_temp d | None -> ());
+          i
+    in
+    b.Ir.instrs <- List.map rewrite b.Ir.instrs
+  in
+  List.iter cse_block f.blocks;
+  !changed

@@ -1,0 +1,10 @@
+(** Block-local common-subexpression elimination.
+
+    Within one block, a pure computation that repeats an earlier one with
+    identical operands is rewritten into a copy of the earlier result.
+    Loads participate until the next store or call (either could change
+    memory).  Availability is killed when any operand temp — or the
+    defining temp itself — is redefined. *)
+
+val run : Ir.func -> bool
+(** Returns [true] if anything changed. *)

@@ -1,0 +1,59 @@
+let used_temps (f : Ir.func) =
+  let used = Hashtbl.create 64 in
+  let use = function
+    | Ir.Temp t -> Hashtbl.replace used t ()
+    | Ir.Const _ -> ()
+  in
+  List.iter
+    (fun b ->
+      List.iter (fun i -> List.iter use (Ir.instr_uses i)) b.Ir.instrs;
+      List.iter use (Ir.term_uses b.Ir.term))
+    f.blocks;
+  used
+
+let sweep_once (f : Ir.func) =
+  let used = used_temps f in
+  let changed = ref false in
+  List.iter
+    (fun b ->
+      b.Ir.instrs <-
+        List.filter
+          (fun i ->
+            let self_copy =
+              match i with
+              | Ir.Copy (t, Ir.Temp s) -> t = s
+              | _ -> false
+            in
+            let dead =
+              self_copy
+              || (not (Ir.has_side_effect i))
+                 &&
+                 match Ir.def_temp i with
+                 | Some t -> not (Hashtbl.mem used t)
+                 | None -> false
+            in
+            if dead then changed := true;
+            not dead)
+          b.Ir.instrs)
+    f.blocks;
+  (* A call whose result is unused keeps its side effects but can drop the
+     destination, which in turn may let other defs die. *)
+  List.iter
+    (fun b ->
+      b.Ir.instrs <-
+        List.map
+          (function
+            | Ir.Call (Some t, callee, args) when not (Hashtbl.mem used t) ->
+                changed := true;
+                Ir.Call (None, callee, args)
+            | i -> i)
+          b.Ir.instrs)
+    f.blocks;
+  !changed
+
+let run f =
+  let changed = ref false in
+  while sweep_once f do
+    changed := true
+  done;
+  !changed

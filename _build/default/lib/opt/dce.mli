@@ -1,0 +1,9 @@
+(** Dead-code elimination.
+
+    Removes pure instructions whose defined temp is never used anywhere in
+    the function (instruction operands or terminators).  Stores and calls
+    are never removed.  Iterates internally to a fixpoint, so chains of
+    dead computations disappear in one call. *)
+
+val run : Ir.func -> bool
+(** Returns [true] if anything changed. *)

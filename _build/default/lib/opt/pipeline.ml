@@ -1,0 +1,39 @@
+type level = O0 | O1 | O2
+
+let level_of_string = function
+  | "O0" | "o0" | "0" -> Some O0
+  | "O1" | "o1" | "1" -> Some O1
+  | "O2" | "o2" | "2" -> Some O2
+  | _ -> None
+
+let level_name = function O0 -> "O0" | O1 -> "O1" | O2 -> "O2"
+
+let round (f : Ir.func) =
+  (* Order matters mildly: folding exposes copies, copies expose common
+     subexpressions, CSE exposes dead code, and a cleaner CFG feeds the
+     next round.  Each returns whether it changed anything. *)
+  let a = Simplify_cfg.run f in
+  let b = Constfold.run f in
+  let c = Copyprop.run f in
+  let d = Cse.run f in
+  let e = Dce.run f in
+  a || b || c || d || e
+
+(* Fixpoint bound: optimization must terminate even if a pass pair were to
+   oscillate; ten rounds is far beyond what real inputs need. *)
+let max_rounds = 10
+
+let optimize_func ?(level = O2) (f : Ir.func) =
+  match level with
+  | O0 -> ()
+  | O1 -> ignore (round f)
+  | O2 ->
+      let n = ref 0 in
+      while round f && !n < max_rounds do
+        incr n
+      done
+
+let optimize ?(level = O2) ?(check = true) (m : Ir.modul) =
+  List.iter (optimize_func ~level) m.funcs;
+  if check then Verify.check_exn m;
+  m

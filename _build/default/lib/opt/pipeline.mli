@@ -1,0 +1,21 @@
+(** The optimization pass manager.
+
+    Runs the standard pass sequence (CFG simplification, constant folding,
+    copy propagation, CSE, DCE) to a fixpoint, per function, in the order
+    a conventional [-O2] pipeline would.  The module is verified after
+    each round when [check] is set. *)
+
+type level = O0 | O1 | O2
+(** [O0]: no optimization.  [O1]: one round.  [O2]: iterate to fixpoint
+    (bounded). *)
+
+val level_of_string : string -> level option
+val level_name : level -> string
+
+val optimize_func : ?level:level -> Ir.func -> unit
+(** Optimize one function in place (default [O2]). *)
+
+val optimize : ?level:level -> ?check:bool -> Ir.modul -> Ir.modul
+(** Optimize every function in place and return the module.  With
+    [check] (default [true]), re-verifies the module after optimizing and
+    raises [Failure] if a pass broke structural invariants. *)

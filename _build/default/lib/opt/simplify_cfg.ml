@@ -1,0 +1,70 @@
+(* Retarget a branch through chains of trivial forwarding blocks
+   (no instructions, unconditional jump).  Cycles of empty blocks
+   (e.g. "while(1);") are left alone. *)
+let thread_target f start =
+  let rec follow l seen =
+    if List.mem l seen then l
+    else
+      match Ir.find_block f l with
+      | { Ir.instrs = []; term = Ir.Jmp next; _ } -> follow next (l :: seen)
+      | _ -> l
+      | exception Not_found -> l
+  in
+  follow start []
+
+let run (f : Ir.func) =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    (* 1. Collapse equal-armed conditionals; 2. thread jumps. *)
+    List.iter
+      (fun b ->
+        let term' =
+          match b.Ir.term with
+          | Ir.Cbr (_, _, _, l1, l2) when l1 = l2 -> Ir.Jmp l1
+          | Ir.Cbr_nz (_, l1, l2) when l1 = l2 -> Ir.Jmp l1
+          | t -> t
+        in
+        let term'' = Ir.map_term_labels (thread_target f) term' in
+        if term'' <> b.Ir.term then begin
+          b.Ir.term <- term'';
+          changed := true;
+          continue_ := true
+        end)
+      f.blocks;
+    (* 3. Remove unreachable blocks. *)
+    let cfg = Cfg.of_func f in
+    let reachable, unreachable =
+      List.partition (fun b -> Cfg.reachable cfg b.Ir.label) f.blocks
+    in
+    if unreachable <> [] then begin
+      f.blocks <- reachable;
+      changed := true;
+      continue_ := true
+    end;
+    (* 4. Merge straight-line pairs. *)
+    let cfg = Cfg.of_func f in
+    let merged = ref false in
+    List.iter
+      (fun b ->
+        if not !merged then
+          match b.Ir.term with
+          | Ir.Jmp next
+            when next <> b.Ir.label
+                 && next <> Cfg.entry cfg
+                 && Cfg.preds cfg next = [ b.Ir.label ] -> (
+              match Ir.find_block f next with
+              | nb ->
+                  b.Ir.instrs <- b.Ir.instrs @ nb.Ir.instrs;
+                  b.Ir.term <- nb.Ir.term;
+                  f.blocks <-
+                    List.filter (fun x -> x.Ir.label <> next) f.blocks;
+                  merged := true;
+                  changed := true;
+                  continue_ := true
+              | exception Not_found -> ())
+          | _ -> ())
+      f.blocks
+  done;
+  !changed

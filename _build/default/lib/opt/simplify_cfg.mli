@@ -1,0 +1,15 @@
+(** Control-flow-graph cleanup.
+
+    Four rewrites, iterated to a fixpoint:
+    {ul
+    {- unreachable-block removal;}
+    {- jump threading — a branch to an empty block that only jumps on is
+       retargeted past it;}
+    {- conditional branches with equal arms become jumps;}
+    {- straight-line merging — a block whose only successor has it as its
+       only predecessor absorbs that successor.}}
+
+    The entry block always keeps its position and label. *)
+
+val run : Ir.func -> bool
+(** Returns [true] if anything changed. *)

@@ -1,0 +1,1 @@
+lib/profile/profile.ml: Hashtbl Int64 Interp Ir List Option Printf Stats String

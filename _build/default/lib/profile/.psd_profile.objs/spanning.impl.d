@@ -1,0 +1,1 @@
+lib/profile/spanning.ml: Array Cfg Fun Hashtbl Int64 Ir List Printf

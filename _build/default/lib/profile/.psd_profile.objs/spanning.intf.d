@@ -1,0 +1,1 @@
+lib/profile/spanning.mli: Ir

@@ -1,0 +1,63 @@
+type t = { counts : (string * Ir.label, int64) Hashtbl.t }
+
+let empty = { counts = Hashtbl.create 1 }
+let of_block_counts counts = { counts = Hashtbl.copy counts }
+
+let collect ?fuel m ~entry ~args =
+  let r = Interp.run ?fuel m ~entry ~args in
+  of_block_counts r.Interp.counts.blocks
+
+let merge a b =
+  let counts = Hashtbl.copy a.counts in
+  Hashtbl.iter
+    (fun k v ->
+      let old = Option.value (Hashtbl.find_opt counts k) ~default:0L in
+      Hashtbl.replace counts k (Int64.add old v))
+    b.counts;
+  { counts }
+
+let collect_many ?fuel m ~entry ~args_list =
+  List.fold_left
+    (fun acc args -> merge acc (collect ?fuel m ~entry ~args))
+    empty args_list
+
+let block_count t ~func label =
+  Option.value (Hashtbl.find_opt t.counts (func, label)) ~default:0L
+
+let max_count t = Hashtbl.fold (fun _ v acc -> max v acc) t.counts 0L
+
+let max_count_func t fname =
+  Hashtbl.fold
+    (fun (f, _) v acc -> if String.equal f fname then max v acc else acc)
+    t.counts 0L
+
+let is_empty t = Hashtbl.length t.counts = 0
+
+let to_string t =
+  let entries =
+    Hashtbl.fold (fun (f, l) v acc -> (f, l, v) :: acc) t.counts []
+  in
+  let sorted = List.sort compare entries in
+  String.concat ""
+    (List.map (fun (f, l, v) -> Printf.sprintf "%s %d %Ld\n" f l v) sorted)
+
+let of_string s =
+  let counts = Hashtbl.create 64 in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         if String.trim line <> "" then
+           match String.split_on_char ' ' (String.trim line) with
+           | [ f; l; v ] -> (
+               match (int_of_string_opt l, Int64.of_string_opt v) with
+               | Some l, Some v -> Hashtbl.replace counts (f, l) v
+               | _ -> failwith ("Profile.of_string: bad line: " ^ line))
+           | _ -> failwith ("Profile.of_string: bad line: " ^ line));
+  { counts }
+
+let median_nonzero t =
+  let xs =
+    Hashtbl.fold
+      (fun _ v acc -> if v > 0L then Int64.to_float v :: acc else acc)
+      t.counts []
+  in
+  Stats.median xs

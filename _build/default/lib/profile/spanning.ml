@@ -1,0 +1,133 @@
+let exit_label : Ir.label = -1
+
+type edge = Ir.label * Ir.label
+
+type placement = {
+  func : string;
+  edges : edge list;
+  tree : edge list;
+  instrumented : edge list;
+}
+
+(* The extended CFG: all intra-function edges, one edge to the virtual
+   exit per returning block, and the virtual exit->entry edge that carries
+   the invocation count. *)
+let extended_edges (f : Ir.func) : edge list =
+  let cfg = Cfg.of_func f in
+  let real = Cfg.edges cfg in
+  let exits =
+    List.filter_map
+      (fun (b : Ir.block) ->
+        match b.term with
+        | Ir.Ret _ -> Some (b.label, exit_label)
+        | _ -> None)
+      f.blocks
+  in
+  ((exit_label, Cfg.entry cfg) :: real) @ exits
+
+(* Union-find for Kruskal. *)
+let find parent x =
+  let rec go x = if parent.(x) = x then x else go parent.(x) in
+  go x
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra = rb then false
+  else begin
+    parent.(ra) <- rb;
+    true
+  end
+
+let place ?(weights = fun _ -> 1L) (f : Ir.func) =
+  let edges = extended_edges f in
+  (* Map labels (including -1) to dense indices. *)
+  let nodes =
+    List.sort_uniq compare
+      (List.concat_map (fun (a, b) -> [ a; b ]) edges)
+  in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i l -> Hashtbl.replace index l i) nodes;
+  let parent = Array.init (List.length nodes) Fun.id in
+  (* Maximum spanning tree: sort by weight, heaviest first; ties broken by
+     edge order for determinism. *)
+  let weighted = List.map (fun e -> (weights e, e)) edges in
+  let sorted =
+    List.sort (fun (wa, ea) (wb, eb) -> compare (wb, ea) (wa, eb)) weighted
+  in
+  let tree =
+    List.filter_map
+      (fun (_, (a, b)) ->
+        if union parent (Hashtbl.find index a) (Hashtbl.find index b) then
+          Some (a, b)
+        else None)
+      sorted
+  in
+  let instrumented = List.filter (fun e -> not (List.mem e tree)) edges in
+  { func = f.name; edges; tree; instrumented }
+
+let reconstruct (p : placement) ~measured =
+  let known : (edge, int64) Hashtbl.t = Hashtbl.create 32 in
+  List.iter (fun e -> Hashtbl.replace known e (measured e)) p.instrumented;
+  (* Incidence lists over all extended edges. *)
+  let nodes =
+    List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) p.edges)
+  in
+  let incident n =
+    List.filter (fun (a, b) -> a = n || b = n) p.edges
+  in
+  (* Worklist: repeatedly find a node with exactly one unknown incident
+     edge; flow conservation (inflow = outflow) determines it. *)
+  let remaining = ref (List.length p.tree) in
+  let progress = ref true in
+  while !remaining > 0 && !progress do
+    progress := false;
+    List.iter
+      (fun n ->
+        let inc = incident n in
+        let unknown = List.filter (fun e -> not (Hashtbl.mem known e)) inc in
+        match unknown with
+        | [ ((a, b) as e) ] ->
+            (* inflow(n) - outflow(n) = 0; solve for e. *)
+            let signed (src, dst) v =
+              (* +v if the edge enters n, -v if it leaves n.  A self loop
+                 contributes zero and cannot be the unknown (a self loop
+                 is never a tree edge). *)
+              if dst = n && src <> n then v
+              else if src = n && dst <> n then Int64.neg v
+              else 0L
+            in
+            let balance =
+              List.fold_left
+                (fun acc e' ->
+                  if e' = e then acc
+                  else Int64.add acc (signed e' (Hashtbl.find known e')))
+                0L inc
+            in
+            (* balance + signed(e) * count = 0 *)
+            let count = if b = n && a <> n then Int64.neg balance else balance in
+            if Int64.compare count 0L < 0 then
+              failwith
+                (Printf.sprintf
+                   "Spanning.reconstruct: negative flow on (%d,%d) in %s" a b
+                   p.func);
+            Hashtbl.replace known e count;
+            decr remaining;
+            progress := true
+        | _ -> ())
+      nodes
+  done;
+  if !remaining > 0 then
+    failwith ("Spanning.reconstruct: unsolvable system in " ^ p.func);
+  List.map (fun e -> (e, Hashtbl.find known e)) p.edges
+
+let block_counts_of_edges (f : Ir.func) (edge_counts : (edge * int64) list) =
+  List.map
+    (fun (b : Ir.block) ->
+      let inflow =
+        List.fold_left
+          (fun acc ((_, dst), v) ->
+            if dst = b.label then Int64.add acc v else acc)
+          0L edge_counts
+      in
+      (b.label, inflow))
+    f.blocks

@@ -1,0 +1,42 @@
+(** Optimal edge-counter placement (Knuth; Ball & Larus; the scheme behind
+    LLVM's profiling instrumentation that the paper builds on, §3.1/§4).
+
+    Counters are needed only on the edges {e not} in a spanning tree of
+    the CFG (extended with a virtual edge from a synthetic exit node back
+    to the entry): the flow-conservation equations — every block's inflow
+    equals its outflow — then determine every uninstrumented edge count
+    exactly.  Choosing a {e maximum} spanning tree under (estimated or
+    measured) edge frequencies puts the counters on the coldest edges,
+    minimizing instrumentation overhead.
+
+    The virtual exit node is represented by the label {!exit_label}. *)
+
+val exit_label : Ir.label
+(** -1; never a real block label. *)
+
+type edge = Ir.label * Ir.label
+
+type placement = {
+  func : string;
+  edges : edge list;  (** every edge of the extended CFG *)
+  tree : edge list;  (** spanning-tree edges (no counters) *)
+  instrumented : edge list;  (** edges that receive counters *)
+}
+
+val place : ?weights:(edge -> int64) -> Ir.func -> placement
+(** Compute the placement.  [weights] orders edges for the maximum
+    spanning tree (measured frequencies when available); the default is
+    uniform, which still yields a valid (if not overhead-optimal)
+    placement. *)
+
+val reconstruct :
+  placement -> measured:(edge -> int64) -> (edge * int64) list
+(** Given counter values for the instrumented edges only, solve the flow
+    equations and return counts for {e every} edge.  Raises [Failure] if
+    the system is not solvable (which would indicate a non-tree
+    structure — a bug). *)
+
+val block_counts_of_edges :
+  Ir.func -> (edge * int64) list -> (Ir.label * int64) list
+(** Per-block execution counts: the inflow of each block (the entry's
+    inflow arrives via the virtual exit-to-entry edge). *)

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Buffer Char Cond Decode Format Insn Int32 Int64 Libc Link List Nops Printf Reg String Timing

@@ -1,0 +1,51 @@
+(** The machine-code CPU simulator.
+
+    Decodes and executes the linked image's [.text] against a separate
+    data address space (W⊕X by construction: instruction fetch reads only
+    text, loads/stores reach only data, and an indirect branch into data
+    traps).  Arithmetic flags are modeled precisely enough for every
+    condition our code generator and library use.
+
+    Syscalls ([INT 0x80]): EAX=1 exits with status EBX; EAX=4 writes the
+    low byte of EBX to the output buffer.
+
+    Decoded instructions are memoized per text offset, so hot loops
+    execute without re-decoding. *)
+
+type result = {
+  status : int32;  (** exit status (main's return value) *)
+  output : string;
+  instructions : int64;  (** retired instructions *)
+  nops_retired : int64;  (** how many were Table-1 NOP candidates *)
+  cycles : float;  (** modeled time *)
+  icache_misses : int64;
+}
+
+exception Fault of string
+(** Machine fault: undecodable bytes at EIP, data access out of bounds or
+    unaligned, division error, control transfer outside text, stack
+    overflow, or fuel exhaustion. *)
+
+val run :
+  ?model:Timing.model ->
+  ?fuel:int64 ->
+  Link.image ->
+  args:int32 list ->
+  result
+(** Execute from the image's entry stub until the exit syscall.  [args]
+    are written to the [__argv] array before execution (they are the
+    arguments of [main]); at most {!Libc.argv_words} are allowed.
+    Default [fuel] is [2^40] instructions. *)
+
+val run_at :
+  ?model:Timing.model ->
+  ?fuel:int64 ->
+  ?stack_image:int32 list ->
+  Link.image ->
+  start_offset:int ->
+  result
+(** Begin execution at an arbitrary text offset with an optional
+    attacker-controlled stack image (values placed on the stack top,
+    first element at ESP — the ROP-chain entry point used by the attack
+    experiments).  Execution ends at the exit syscall, at [Hlt], or on a
+    fault. *)

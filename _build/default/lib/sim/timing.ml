@@ -1,0 +1,74 @@
+type model = {
+  alu_cost : float;
+  load_cost : float;
+  store_cost : float;
+  mul_cost : float;
+  div_cost : float;
+  branch_cost : float;
+  call_cost : float;
+  syscall_cost : float;
+  nop_cost : float;
+  xchg_nop_cost : float;
+  icache_lines : int;
+  icache_line_bytes : int;
+  icache_miss_penalty : float;
+}
+
+let default =
+  {
+    alu_cost = 1.0;
+    load_cost = 2.0;
+    store_cost = 2.0;
+    mul_cost = 3.0;
+    div_cost = 20.0;
+    branch_cost = 1.5;
+    call_cost = 3.0;
+    syscall_cost = 50.0;
+    (* ~3 NOPs retire per cycle on the Core microarchitecture. *)
+    nop_cost = 0.34;
+    (* XCHG locks the bus: tens of cycles (Intel SDM, the paper's [16]). *)
+    xchg_nop_cost = 18.0;
+    icache_lines = 512;
+    (* 512 x 64 B = 32 KiB *)
+    icache_line_bytes = 64;
+    icache_miss_penalty = 12.0;
+  }
+
+let has_mem_operand (op : Insn.operand) =
+  match op with Insn.Mem _ -> true | Insn.Reg _ -> false
+
+let insn_cost m (i : Insn.t) =
+  if Nops.is_candidate i then
+    match i with Insn.Xchg_rm_r _ -> m.xchg_nop_cost | _ -> m.nop_cost
+  else
+    match i with
+    | Insn.Nop -> m.nop_cost
+    | Insn.Mov_r_rm (_, src) -> if has_mem_operand src then m.load_cost else m.alu_cost
+    | Insn.Mov_rm_r (dst, _) | Insn.Mov_rm_imm (dst, _) ->
+        if has_mem_operand dst then m.store_cost else m.alu_cost
+    | Insn.Mov_r_imm _ | Insn.Lea _ -> m.alu_cost
+    | Insn.Alu_rm_r (_, dst, _) | Insn.Alu_rm_imm (_, dst, _) ->
+        if has_mem_operand dst then m.load_cost +. m.store_cost else m.alu_cost
+    | Insn.Alu_r_rm (_, _, src) ->
+        if has_mem_operand src then m.load_cost else m.alu_cost
+    | Insn.Test_rm_r (dst, _) ->
+        if has_mem_operand dst then m.load_cost else m.alu_cost
+    | Insn.Inc_r _ | Insn.Dec_r _ | Insn.Cdq | Insn.Setcc _ | Insn.Movzx_r_r8 _
+      ->
+        m.alu_cost
+    | Insn.Neg o | Insn.Not o ->
+        if has_mem_operand o then m.load_cost +. m.store_cost else m.alu_cost
+    | Insn.Imul_r_rm (_, src) ->
+        m.mul_cost +. if has_mem_operand src then m.load_cost else 0.0
+    | Insn.Mul o | Insn.Idiv o ->
+        m.div_cost +. if has_mem_operand o then m.load_cost else 0.0
+    | Insn.Shift_imm (_, o, _) | Insn.Shift_cl (_, o) ->
+        if has_mem_operand o then m.load_cost +. m.store_cost else m.alu_cost
+    | Insn.Push_r _ | Insn.Push_imm _ | Insn.Pop_r _ -> m.alu_cost +. 0.5
+    | Insn.Ret | Insn.Ret_imm _ -> m.call_cost
+    | Insn.Call_rel _ | Insn.Call_rm _ -> m.call_cost
+    | Insn.Jmp_rel _ | Insn.Jmp_rel8 _ | Insn.Jmp_rm _ -> m.branch_cost
+    | Insn.Jcc _ | Insn.Jcc8 _ -> m.branch_cost
+    | Insn.Xchg_rm_r _ -> m.xchg_nop_cost
+    | Insn.Int _ -> m.syscall_cost
+    | Insn.Hlt -> m.alu_cost

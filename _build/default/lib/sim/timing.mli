@@ -1,0 +1,40 @@
+(** The CPU cost model.
+
+    We cannot run on the paper's Xeon 5150, so the simulator charges an
+    in-order cost per retired instruction plus an instruction-cache
+    penalty.  The parameters encode the two mechanisms by which NOP
+    insertion costs time on real hardware:
+
+    {ul
+    {- {b retire bandwidth}: a NOP is architecturally free but still
+       occupies fetch/decode/retire slots.  Modern x86 retires several
+       NOPs per cycle, hence the fractional {!field:nop_cost};}
+    {- {b code growth}: inserted bytes push hot loops across more I-cache
+       lines, modeled by a direct-mapped I-cache with a miss penalty;}
+    {- {b bus locking}: the two XCHG-based NOP candidates lock the memory
+       bus (the reason the paper excludes them by default), so they get a
+       separate, much larger cost.}} *)
+
+type model = {
+  alu_cost : float;  (** register ALU / mov / lea / push / pop *)
+  load_cost : float;  (** memory read (L1 hit) *)
+  store_cost : float;
+  mul_cost : float;
+  div_cost : float;
+  branch_cost : float;  (** conditional or unconditional jump *)
+  call_cost : float;  (** call and ret *)
+  syscall_cost : float;
+  nop_cost : float;  (** any Table-1 candidate except XCHG *)
+  xchg_nop_cost : float;  (** the bus-locking XCHG candidates *)
+  icache_lines : int;  (** direct-mapped line count *)
+  icache_line_bytes : int;
+  icache_miss_penalty : float;
+}
+
+val default : model
+(** Calibrated so that naive pNOP=50% insertion lands in the single-digit
+    percent overhead range the paper reports for SPEC. *)
+
+val insn_cost : model -> Insn.t -> float
+(** Base cost of one instruction (no cache effects).  NOP candidates are
+    recognized structurally via {!Nops.is_candidate}. *)

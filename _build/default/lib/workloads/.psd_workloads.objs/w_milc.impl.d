@@ -1,0 +1,1 @@
+lib/workloads/w_milc.ml: Workload

@@ -1,0 +1,1 @@
+lib/workloads/w_sphinx3.ml: Workload

@@ -1,0 +1,345 @@
+(* The PHP stand-in for the paper's §5.2 case study: a network-facing
+   interpreter.  This is a stack-based bytecode VM written in MiniC; the
+   seven driver programs correspond to the Computer Language Benchmarks
+   Game workloads the paper profiles PHP with (binarytrees,
+   fannkuchredux, mandelbrot, nbody, pidigits, spectralnorm, fasta) —
+   each stresses a different part of the interpreter (recursion, array
+   ops, multiply-heavy loops, division, ...).
+
+   VM: two-word instructions [opcode, operand]; operand stack [vstack],
+   call stack [rstack], 64 variable slots [vmem].  Result protocol:
+   programs store their checksum in slot 63 and HALT. *)
+
+type profile_program = {
+  prog_name : string;  (** benchmarks-game analogue name *)
+  prog_id : int32;  (** first argument of main *)
+  train_n : int32;  (** training size *)
+  ref_n : int32;  (** measurement size *)
+}
+
+let profile_programs =
+  [
+    { prog_name = "binarytrees"; prog_id = 0l; train_n = 8l; ref_n = 13l };
+    { prog_name = "fannkuchredux"; prog_id = 1l; train_n = 60l; ref_n = 900l };
+    { prog_name = "mandelbrot"; prog_id = 2l; train_n = 300l; ref_n = 6000l };
+    { prog_name = "nbody"; prog_id = 3l; train_n = 250l; ref_n = 5000l };
+    { prog_name = "pidigits"; prog_id = 4l; train_n = 120l; ref_n = 2500l };
+    { prog_name = "spectralnorm"; prog_id = 5l; train_n = 10l; ref_n = 140l };
+    { prog_name = "fasta"; prog_id = 6l; train_n = 300l; ref_n = 7000l };
+  ]
+
+let source =
+  {|
+  // ---- VM state ----
+  global int code[2048];
+  global int code_len;
+  global int vstack[1024];
+  global int rstack[256];
+  global int vmem[64];
+
+  // opcodes
+  //  0 HALT   1 PUSH   2 ADD   3 SUB   4 MUL   5 DIV   6 MOD
+  //  7 DUP    8 POP    9 SWAP 10 LOAD 11 STORE 12 JMP  13 JZ
+  // 14 LT    15 CALL  16 RET  17 ALOAD 18 ASTORE
+
+  int emit(int op, int arg) {
+    code[code_len] = op;
+    code[code_len + 1] = arg;
+    code_len = code_len + 2;
+    return code_len - 2;   // address of the emitted instruction
+  }
+
+  int patch(int addr, int arg) { code[addr + 1] = arg; return 0; }
+
+  int run_vm(int entry) {
+    int pc = entry;
+    int sp = 0;
+    int rp = 0;
+    int steps = 0;
+    while (1) {
+      steps = steps + 1;
+      if (steps > 40000000) { put_char('T'); put_char('O'); exit(3); }
+      int op = code[pc];
+      int arg = code[pc + 1];
+      pc = pc + 2;
+      if (op == 0) return steps;
+      else if (op == 1) { vstack[sp] = arg; sp = sp + 1; }
+      else if (op == 2) { sp = sp - 1; vstack[sp - 1] = vstack[sp - 1] + vstack[sp]; }
+      else if (op == 3) { sp = sp - 1; vstack[sp - 1] = vstack[sp - 1] - vstack[sp]; }
+      else if (op == 4) { sp = sp - 1; vstack[sp - 1] = vstack[sp - 1] * vstack[sp]; }
+      else if (op == 5) { sp = sp - 1; vstack[sp - 1] = vstack[sp - 1] / vstack[sp]; }
+      else if (op == 6) { sp = sp - 1; vstack[sp - 1] = vstack[sp - 1] % vstack[sp]; }
+      else if (op == 7) { vstack[sp] = vstack[sp - 1]; sp = sp + 1; }
+      else if (op == 8) { sp = sp - 1; }
+      else if (op == 9) {
+        int t = vstack[sp - 1];
+        vstack[sp - 1] = vstack[sp - 2];
+        vstack[sp - 2] = t;
+      }
+      else if (op == 10) { vstack[sp] = vmem[arg]; sp = sp + 1; }
+      else if (op == 11) { sp = sp - 1; vmem[arg] = vstack[sp]; }
+      else if (op == 12) { pc = arg; }
+      else if (op == 13) { sp = sp - 1; if (vstack[sp] == 0) pc = arg; }
+      else if (op == 14) {
+        sp = sp - 1;
+        if (vstack[sp - 1] < vstack[sp]) vstack[sp - 1] = 1;
+        else vstack[sp - 1] = 0;
+      }
+      else if (op == 15) { rstack[rp] = pc; rp = rp + 1; pc = arg; }
+      else if (op == 16) { rp = rp - 1; pc = rstack[rp]; }
+      else if (op == 17) { vstack[sp - 1] = vmem[vstack[sp - 1] & 63]; }
+      else if (op == 18) {
+        sp = sp - 2;
+        vmem[vstack[sp + 1] & 63] = vstack[sp];
+      }
+      else { put_char('?'); exit(4); }
+    }
+  }
+
+  // ---- program generators ----
+  // Each returns the entry pc; result ends up in vmem[63].
+
+  // binarytrees: tree(d) = 1 + tree(d-1) + tree(d-1), recursion heavy.
+  int gen_binarytrees(int n) {
+    // TREE function, argument on stack
+    int tree = emit(7, 0);         // DUP           [d,d]
+    int jz = emit(13, 0);          // JZ base       [d]
+    emit(1, 1);                    // PUSH 1        [d,1]
+    emit(9, 0);                    // SWAP          [1,d]
+    emit(1, 1);                    // PUSH 1        [1,d,1]
+    emit(3, 0);                    // SUB           [1,d-1]
+    emit(7, 0);                    // DUP           [1,d-1,d-1]
+    emit(15, tree);                // CALL tree     [1,d-1,t1]
+    emit(9, 0);                    // SWAP          [1,t1,d-1]
+    emit(15, tree);                // CALL tree     [1,t1,t2]
+    emit(2, 0);                    // ADD
+    emit(2, 0);                    // ADD           [1+t1+t2]
+    emit(16, 0);                   // RET
+    int base = emit(8, 0);         // POP (the zero d)
+    emit(1, 1);                    // PUSH 1
+    emit(16, 0);                   // RET
+    patch(jz, base);
+    // main
+    int entry = emit(1, n);        // PUSH n
+    emit(15, tree);                // CALL tree
+    emit(11, 63);                  // STORE 63
+    emit(0, 0);                    // HALT
+    return entry;
+  }
+
+  // fannkuchredux: repeated prefix reversals of an 8-slot array.
+  int gen_fannkuch(int n) {
+    int entry = emit(1, 0);        // iteration counter in slot 0
+    emit(11, 0);
+    // init vmem[8..15] = 1..8 : unrolled stores
+    for (int i = 0; i < 8; i = i + 1) {
+      emit(1, i + 1);
+      emit(1, 8 + i);
+      emit(18, 0);                 // ASTORE
+    }
+    int loop = emit(10, 0);        // LOAD counter
+    emit(1, n);
+    emit(14, 0);                   // counter < n
+    int exit_jz = emit(13, 0);
+    // flip length = counter % 6 + 2; reverse vmem[8 .. 8+len-1] using
+    // slots 1 (i) and 2 (j)
+    emit(10, 0); emit(1, 6); emit(6, 0); emit(1, 2); emit(2, 0);
+    emit(11, 3);                   // slot3 = len
+    emit(1, 8); emit(11, 1);       // i = 8
+    emit(10, 3); emit(1, 7); emit(2, 0); emit(11, 2);  // j = len + 7
+    int rev = emit(10, 1);         // LOAD i
+    emit(10, 2);                   // LOAD j
+    emit(14, 0);                   // i < j ?
+    int rev_done = emit(13, 0);
+    // swap vmem[i], vmem[j]
+    emit(10, 1); emit(17, 0);      // [vmem[i]]
+    emit(10, 2); emit(17, 0);      // [vmem[i], vmem[j]]
+    emit(10, 1); emit(18, 0);      // vmem[i] = vmem[j] (pops 2)
+    emit(10, 2); emit(18, 0);      // vmem[j] = old vmem[i]
+    emit(10, 1); emit(1, 1); emit(2, 0); emit(11, 1);  // i = i + 1
+    emit(10, 2); emit(1, 1); emit(3, 0); emit(11, 2);  // j = j - 1
+    emit(12, rev);
+    int after_rev = emit(10, 63);  // checksum += vmem[8]
+    emit(10, 1); emit(17, 0);
+    emit(2, 0);
+    emit(11, 63);
+    patch(rev_done, after_rev);
+    emit(10, 0); emit(1, 1); emit(2, 0); emit(11, 0);  // counter++
+    emit(12, loop);
+    int halt = emit(0, 0);
+    patch(exit_jz, halt);
+    return entry;
+  }
+
+  // mandelbrot: escape-time iteration z = z*z % m + c over a pixel loop.
+  int gen_mandelbrot(int n) {
+    int entry = emit(1, 0); emit(11, 0);      // pixel = 0
+    int loop = emit(10, 0); emit(1, n); emit(14, 0);
+    int done = emit(13, 0);
+    emit(10, 0); emit(1, 7919); emit(6, 0); emit(11, 1);  // c = pixel % 7919
+    emit(1, 0); emit(11, 2);                  // z = 0
+    emit(1, 0); emit(11, 3);                  // iter = 0
+    int inner = emit(10, 2); emit(7, 0); emit(4, 0);      // z*z
+    emit(1, 65521); emit(6, 0);               // % m
+    emit(10, 1); emit(2, 0);                  // + c
+    emit(11, 2);                              // z = ...
+    emit(10, 3); emit(1, 1); emit(2, 0); emit(11, 3);     // iter++
+    emit(10, 3); emit(1, 24); emit(14, 0);    // iter < 24 ?
+    int esc = emit(13, 0);
+    emit(10, 2); emit(1, 32000); emit(14, 0); // z < 32000 -> keep going
+    int esc2 = emit(13, 0);
+    emit(12, inner);
+    int after = emit(10, 63); emit(10, 3); emit(2, 0); emit(11, 63);
+    patch(esc, after);
+    patch(esc2, after);
+    emit(10, 0); emit(1, 1); emit(2, 0); emit(11, 0);
+    emit(12, loop);
+    int halt = emit(0, 0);
+    patch(done, halt);
+    return entry;
+  }
+
+  // nbody: fixed-point orbital updates on three bodies in slots.
+  int gen_nbody(int n) {
+    int entry = emit(1, 1000); emit(11, 1);   // x
+    emit(1, 7); emit(11, 2);                  // vx
+    emit(1, 2000); emit(11, 3);               // y
+    emit(1, 0 - 5); emit(11, 4);              // vy
+    emit(1, 0); emit(11, 0);                  // step = 0
+    int loop = emit(10, 0); emit(1, n); emit(14, 0);
+    int done = emit(13, 0);
+    // ax = -x / 64 ; vx += ax ; x += vx / 4
+    emit(1, 0); emit(10, 1); emit(3, 0); emit(1, 64); emit(5, 0);
+    emit(10, 2); emit(2, 0); emit(11, 2);
+    emit(10, 1); emit(10, 2); emit(1, 4); emit(5, 0); emit(2, 0); emit(11, 1);
+    // same for y
+    emit(1, 0); emit(10, 3); emit(3, 0); emit(1, 64); emit(5, 0);
+    emit(10, 4); emit(2, 0); emit(11, 4);
+    emit(10, 3); emit(10, 4); emit(1, 4); emit(5, 0); emit(2, 0); emit(11, 3);
+    // checksum accumulates |x| + |y| approximated by x*x ... keep simple
+    emit(10, 63); emit(10, 1); emit(2, 0); emit(10, 3); emit(2, 0); emit(11, 63);
+    emit(10, 0); emit(1, 1); emit(2, 0); emit(11, 0);
+    emit(12, loop);
+    int halt = emit(0, 0);
+    patch(done, halt);
+    return entry;
+  }
+
+  // pidigits: long-division digit extraction, DIV/MOD heavy.
+  int gen_pidigits(int n) {
+    int entry = emit(1, 1); emit(11, 1);      // numerator
+    emit(1, 1); emit(11, 2);                  // denominator
+    emit(1, 0); emit(11, 0);                  // digits produced
+    int loop = emit(10, 0); emit(1, n); emit(14, 0);
+    int done = emit(13, 0);
+    // num = num * 10 + 7 ; den = den * 3 + 1 (re-normalized to stay small)
+    emit(10, 1); emit(1, 10); emit(4, 0); emit(1, 7); emit(2, 0); emit(11, 1);
+    emit(10, 2); emit(1, 3); emit(4, 0); emit(1, 1); emit(2, 0); emit(11, 2);
+    // digit = num / den ; rest = num % den
+    emit(10, 1); emit(10, 2); emit(5, 0); emit(11, 3);
+    emit(10, 1); emit(10, 2); emit(6, 0); emit(11, 1);
+    // keep den bounded
+    emit(10, 2); emit(1, 99991); emit(6, 0); emit(1, 1); emit(2, 0); emit(11, 2);
+    emit(10, 63); emit(10, 3); emit(2, 0); emit(11, 63);
+    emit(10, 0); emit(1, 1); emit(2, 0); emit(11, 0);
+    emit(12, loop);
+    int halt = emit(0, 0);
+    patch(done, halt);
+    return entry;
+  }
+
+  // spectralnorm: nested i/j loop over vmem products (ALOAD heavy).
+  int gen_spectralnorm(int n) {
+    int entry = emit(1, 0); emit(11, 0);      // outer counter
+    // fill vmem[8..23] with small values
+    for (int i = 0; i < 16; i = i + 1) {
+      emit(1, (i * 7 + 3) % 31);
+      emit(1, 8 + i);
+      emit(18, 0);
+    }
+    int loop = emit(10, 0); emit(1, n); emit(14, 0);
+    int done = emit(13, 0);
+    emit(1, 0); emit(11, 1);                  // i = 0
+    int iloop = emit(10, 1); emit(1, 16); emit(14, 0);
+    int idone = emit(13, 0);
+    emit(1, 0); emit(11, 2);                  // j = 0
+    int jloop = emit(10, 2); emit(1, 16); emit(14, 0);
+    int jdone = emit(13, 0);
+    // acc += v[8+i] * v[8+j] / (i + j + 1)
+    emit(10, 1); emit(1, 8); emit(2, 0); emit(17, 0);
+    emit(10, 2); emit(1, 8); emit(2, 0); emit(17, 0);
+    emit(4, 0);
+    emit(10, 1); emit(10, 2); emit(2, 0); emit(1, 1); emit(2, 0);
+    emit(5, 0);
+    emit(10, 63); emit(2, 0); emit(11, 63);
+    emit(10, 2); emit(1, 1); emit(2, 0); emit(11, 2);
+    emit(12, jloop);
+    int after_j = emit(10, 1); emit(1, 1); emit(2, 0); emit(11, 1);
+    patch(jdone, after_j);
+    emit(12, iloop);
+    int after_i = emit(10, 0); emit(1, 1); emit(2, 0); emit(11, 0);
+    patch(idone, after_i);
+    emit(12, loop);
+    int halt = emit(0, 0);
+    patch(done, halt);
+    return entry;
+  }
+
+  // fasta: LCG sequence generation into the variable array.
+  int gen_fasta(int n) {
+    int entry = emit(1, 42); emit(11, 1);     // lcg state
+    emit(1, 0); emit(11, 0);
+    int loop = emit(10, 0); emit(1, n); emit(14, 0);
+    int done = emit(13, 0);
+    // state = (state * 3877 + 29573) % 139968
+    emit(10, 1); emit(1, 3877); emit(4, 0); emit(1, 29573); emit(2, 0);
+    emit(1, 139968); emit(6, 0); emit(11, 1);
+    // vmem[32 + state % 16] = state, then fold into checksum
+    emit(10, 1);
+    emit(10, 1); emit(1, 16); emit(6, 0); emit(1, 32); emit(2, 0);
+    emit(18, 0);
+    emit(10, 63); emit(10, 1); emit(1, 97); emit(6, 0); emit(2, 0); emit(11, 63);
+    emit(10, 0); emit(1, 1); emit(2, 0); emit(11, 0);
+    emit(12, loop);
+    int halt = emit(0, 0);
+    patch(done, halt);
+    return entry;
+  }
+
+  int main(int prog, int n) {
+    code_len = 0;
+    for (int i = 0; i < 64; i = i + 1) vmem[i] = 0;
+    // protocol banner words, exposed to clients in the variable area.
+    // (Their immediate encodings are also where the microgadget-scale
+    // store and syscall gadgets of the attack study hide, as real
+    // binaries' constants do.)
+    vmem[60] = 0xC3038955;
+    vmem[59] = 0xC380CD00;
+    int entry = 0;
+    if (prog == 0) entry = gen_binarytrees(n);
+    else if (prog == 1) entry = gen_fannkuch(n);
+    else if (prog == 2) entry = gen_mandelbrot(n);
+    else if (prog == 3) entry = gen_nbody(n);
+    else if (prog == 4) entry = gen_pidigits(n);
+    else if (prog == 5) entry = gen_spectralnorm(n);
+    else if (prog == 6) entry = gen_fasta(n);
+    else { put_char('b'); put_char('a'); put_char('d'); put_char(10); exit(1); }
+    if (code_len >= 2048) { put_char('O'); put_char('V'); exit(2); }
+    int steps = run_vm(entry);
+    print_int(vmem[63]);
+    print_int(steps);
+    return vmem[63] & 127;
+  }
+|}
+
+let workload =
+  {
+    Workload.name = "phpvm";
+    description =
+      "stack-based bytecode interpreter (the network-facing application \
+       of the PHP attack study)";
+    source;
+    (* Default train/ref run the recursion-heavy program. *)
+    train_args = [ 0l; 8l ];
+    ref_args = [ 0l; 12l ];
+  }

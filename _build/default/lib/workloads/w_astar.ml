@@ -1,0 +1,83 @@
+(* 473.astar analogue: grid pathfinding.  A* with Manhattan heuristic on
+   random obstacle maps, open set as a linear-scan priority array — the
+   open/closed-list management and neighbor expansion of 473.astar. *)
+
+let workload =
+  {
+    Workload.name = "473.astar";
+    description = "A* grid pathfinding over random obstacle maps";
+    train_args = [ 80l; 1l ];
+    ref_args = [ 81l; 2l ];
+    source =
+      Workload.prng_helpers
+      ^ {|
+  global int grid[1024];     // 32 x 32: 1 = blocked
+  global int gscore[1024];
+  global int state[1024];    // 0 unseen, 1 open, 2 closed
+  global int fscore[1024];   // cached g + h for open-list scans
+
+  int heur(int pos, int goal) {
+    int dim = 32;
+    int dx = pos % dim - goal % dim;
+    int dy = pos / dim - goal / dim;
+    if (dx < 0) dx = 0 - dx;
+    if (dy < 0) dy = 0 - dy;
+    return dx + dy;
+  }
+
+  int astar(int start, int goal) {
+    int dim = 32;
+    int n = dim * dim;
+    for (int i = 0; i < n; i = i + 1) { gscore[i] = 1000000000; state[i] = 0; }
+    gscore[start] = 0;
+    fscore[start] = heur(start, goal);
+    state[start] = 1;
+    int expanded = 0;
+    while (1) {
+      // pick the open node with smallest f = g + h
+      int best = 0 - 1;
+      int bestf = 1000000000;
+      for (int i = 0; i < n; i = i + 1)
+        if (state[i] == 1 && fscore[i] < bestf) { bestf = fscore[i]; best = i; }
+      if (best < 0) return 0 - expanded;        // unreachable
+      if (expanded > 250) return expanded;      // search horizon reached
+      if (best == goal) return gscore[goal] * 1000 + expanded;
+      state[best] = 2;
+      expanded = expanded + 1;
+      int x = best % dim;
+      int y = best / dim;
+      for (int d = 0; d < 4; d = d + 1) {
+        int nx = x; int ny = y;
+        if (d == 0) nx = x - 1;
+        if (d == 1) nx = x + 1;
+        if (d == 2) ny = y - 1;
+        if (d == 3) ny = y + 1;
+        if (nx >= 0 && nx < dim && ny >= 0 && ny < dim) {
+          int np = ny * dim + nx;
+          if (grid[np] == 0 && state[np] != 2) {
+            int cand = gscore[best] + 1;
+            if (cand < gscore[np]) {
+              gscore[np] = cand;
+              fscore[np] = cand + heur(np, goal);
+              state[np] = 1;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  int main(int seed, int maps) {
+    rnd_init(seed);
+    int checksum = 0;
+    for (int m = 0; m < maps; m = m + 1) {
+      for (int i = 0; i < 1024; i = i + 1) grid[i] = (rnd() % 100) < 25;
+      grid[0] = 0;
+      grid[1023] = 0;
+      checksum = checksum + astar(0, 1023);
+    }
+    print_int(checksum);
+    return checksum & 127;
+  }
+|};
+  }

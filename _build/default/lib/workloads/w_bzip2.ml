@@ -1,0 +1,92 @@
+(* 401.bzip2 analogue: block compression.  Run-length encodes a
+   pseudo-random buffer after a move-to-front transform, then decodes and
+   verifies the round trip — compress and decompress are both hot. *)
+
+let workload =
+  {
+    Workload.name = "401.bzip2";
+    description = "move-to-front + run-length compression round trip";
+    train_args = [ 23l; 1l ];
+    ref_args = [ 23l; 2l ];
+    source =
+      Workload.prng_helpers
+      ^ {|
+  global int input[4096];
+  global int mtf[64];
+  global int encoded[8192];
+  global int decoded[4096];
+
+  int mtf_reset() {
+    for (int i = 0; i < 64; i = i + 1) mtf[i] = i;
+    return 0;
+  }
+
+  int mtf_encode(int sym) {
+    int idx = 0;
+    while (mtf[idx] != sym) idx = idx + 1;
+    for (int j = idx; j > 0; j = j - 1) mtf[j] = mtf[j - 1];
+    mtf[0] = sym;
+    return idx;
+  }
+
+  int mtf_decode(int idx) {
+    int sym = mtf[idx];
+    for (int j = idx; j > 0; j = j - 1) mtf[j] = mtf[j - 1];
+    mtf[0] = sym;
+    return sym;
+  }
+
+  int compress(int n) {
+    mtf_reset();
+    int out = 0;
+    int i = 0;
+    while (i < n) {
+      int v = mtf_encode(input[i]);
+      int run = 1;
+      while (i + run < n && input[i + run] == input[i] && run < 255) run = run + 1;
+      encoded[out] = v; encoded[out + 1] = run;
+      out = out + 2;
+      i = i + run;
+    }
+    return out;
+  }
+
+  int decompress(int m) {
+    mtf_reset();
+    int pos = 0;
+    for (int k = 0; k < m; k = k + 2) {
+      int sym = mtf_decode(encoded[k]);
+      for (int r = 0; r < encoded[k + 1]; r = r + 1) {
+        decoded[pos] = sym;
+        pos = pos + 1;
+      }
+    }
+    return pos;
+  }
+
+  int main(int seed, int blocks) {
+    rnd_init(seed);
+    int checksum = 0;
+    for (int b = 0; b < blocks; b = b + 1) {
+      // runs of repeated symbols make the data compressible
+      int i = 0;
+      while (i < 4096) {
+        int sym = rnd() % 64;
+        int run = 1 + rnd() % 7;
+        for (int r = 0; r < run && i < 4096; r = r + 1) {
+          input[i] = sym;
+          i = i + 1;
+        }
+      }
+      int m = compress(4096);
+      int n2 = decompress(m);
+      if (n2 != 4096) { put_char('B'); put_char('A'); put_char('D'); exit(1); }
+      for (int k = 0; k < 4096; k = k + 128)
+        if (decoded[k] != input[k]) { put_char('!'); exit(2); }
+      checksum = checksum + m;
+    }
+    print_int(checksum);
+    return checksum & 127;
+  }
+|};
+  }

@@ -1,0 +1,147 @@
+(* 403.gcc analogue: expression-tree constant folding.  Builds random
+   binary expression trees in parallel arrays and repeatedly folds them
+   bottom-up — pointer-chasing tree walks with an explicit work stack,
+   like a compiler's IR passes. *)
+
+let workload =
+  {
+    Workload.name = "403.gcc";
+    description = "expression-tree construction and constant folding";
+    train_args = [ 5l; 10l ];
+    ref_args = [ 5l; 115l ];
+    source =
+      Workload.prng_helpers
+      ^ {|
+  global int kind[2048];   // 0 = leaf, 1 = add, 2 = sub, 3 = mul, 4 = and
+  global int left[2048];
+  global int right[2048];
+  global int value[2048];
+  global int stack[4096];
+  global int node_count;
+
+  int new_node(int k, int l, int r, int v) {
+    int id = node_count;
+    node_count = node_count + 1;
+    kind[id] = k; left[id] = l; right[id] = r; value[id] = v;
+    return id;
+  }
+
+  int build(int depth) {
+    if (depth == 0 || rnd() % 4 == 0) return new_node(0, 0, 0, rnd() % 100);
+    int k = 1 + rnd() % 4;
+    int l = build(depth - 1);
+    int r = build(depth - 1);
+    return new_node(k, l, r, 0);
+  }
+
+  // Iterative post-order fold with an explicit stack; second visits are
+  // marked by negating the pushed id (offset by one to keep zero safe).
+  int fold(int root) {
+    int sp = 0;
+    stack[sp] = root + 1; sp = sp + 1;
+    while (sp > 0) {
+      sp = sp - 1;
+      int entry = stack[sp];
+      if (entry > 0) {
+        int id = entry - 1;
+        if (kind[id] == 0) value[id] = value[id];
+        else {
+          stack[sp] = 0 - entry; sp = sp + 1;
+          stack[sp] = left[id] + 1; sp = sp + 1;
+          stack[sp] = right[id] + 1; sp = sp + 1;
+        }
+      } else {
+        int id = (0 - entry) - 1;
+        int a = value[left[id]];
+        int b = value[right[id]];
+        if (kind[id] == 1) value[id] = a + b;
+        else if (kind[id] == 2) value[id] = a - b;
+        else if (kind[id] == 3) value[id] = a * b;
+        else if (kind[id] == 5) value[id] = a << (b & 31);
+        else value[id] = a & b;
+        kind[id] = 0;
+      }
+    }
+    return value[root];
+  }
+
+  // Strength reduction: multiplications by a power of two become shifts
+  // (kind 5).  Returns the number of rewrites, like a pass statistic.
+  int is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+  int log2_(int v) {
+    int n = 0;
+    while (v > 1) { v = v >> 1; n = n + 1; }
+    return n;
+  }
+
+  int strength_reduce(int id) {
+    int rewrites = 0;
+    if (kind[id] != 0) {
+      rewrites = strength_reduce(left[id]) + strength_reduce(right[id]);
+      if (kind[id] == 3 && kind[right[id]] == 0 && is_pow2(value[right[id]])) {
+        kind[id] = 5;   // shift-left node
+        value[right[id]] = log2_(value[right[id]]);
+        rewrites = rewrites + 1;
+      }
+    }
+    return rewrites;
+  }
+
+  // Structural hashing (GVN-lite): count how many subtrees share a hash
+  // with an earlier one — candidates for common-subexpression reuse.
+  global int hash_seen[256];
+
+  int subtree_hash(int id) {
+    if (kind[id] == 0) return value[id] * 2 + 1;
+    int h = kind[id] * 65599 + subtree_hash(left[id]);
+    h = h * 65599 + subtree_hash(right[id]);
+    return h;
+  }
+
+  int count_shared(int root) {
+    for (int i = 0; i < 256; i = i + 1) hash_seen[i] = 0;
+    int shared = 0;
+    for (int id = 0; id < node_count; id = id + 1) {
+      if (kind[id] != 0) {
+        int h = subtree_hash(id) & 255;
+        if (hash_seen[h]) shared = shared + 1;
+        hash_seen[h] = 1;
+      }
+    }
+    return shared;
+  }
+
+  // Instruction scheduling estimate: a postorder walk computing
+  // Sethi-Ullman register need of each tree.
+  int regs_needed(int id) {
+    if (kind[id] == 0) return 1;
+    int l = regs_needed(left[id]);
+    int r = regs_needed(right[id]);
+    if (l == r) return l + 1;
+    if (l > r) return l;
+    return r;
+  }
+
+  int main(int seed, int trees) {
+    rnd_init(seed);
+    int checksum = 0;
+    int rewrites = 0;
+    int spills = 0;
+    for (int t = 0; t < trees; t = t + 1) {
+      node_count = 0;
+      int root = build(9);
+      if (node_count >= 2048) { put_char('O'); put_char('V'); exit(1); }
+      rewrites = rewrites + strength_reduce(root);
+      checksum = checksum + count_shared(root);
+      int need = regs_needed(root);
+      if (need > 6) spills = spills + need - 6;   // beyond x86's GPRs
+      checksum = checksum ^ fold(root) + node_count;
+    }
+    print_int(checksum);
+    print_int(rewrites);
+    print_int(spills);
+    return checksum & 127;
+  }
+|};
+  }

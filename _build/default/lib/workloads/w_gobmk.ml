@@ -1,0 +1,125 @@
+(* 445.gobmk analogue: Go-board group analysis.  Generates random board
+   positions and flood-fills stone groups to count their liberties — the
+   branchy, irregular board scanning that dominates gobmk. *)
+
+let workload =
+  {
+    Workload.name = "445.gobmk";
+    description = "flood-fill group and liberty counting on random boards";
+    train_args = [ 29l; 5l ];
+    ref_args = [ 29l; 36l ];
+    source =
+      Workload.prng_helpers
+      ^ {|
+  global int board[441];    // 21 x 21, border ring of -1
+  global int mark[441];
+  global int queue[441];
+
+  int liberties(int start, int color, int dim) {
+    int head = 0;
+    int tail = 0;
+    int libs = 0;
+    queue[tail] = start; tail = tail + 1;
+    mark[start] = 1;
+    while (head < tail) {
+      int pos = queue[head]; head = head + 1;
+      int d = 0;
+      while (d < 4) {
+        int nb = pos;
+        if (d == 0) nb = pos - dim;
+        if (d == 1) nb = pos + dim;
+        if (d == 2) nb = pos - 1;
+        if (d == 3) nb = pos + 1;
+        if (mark[nb] == 0) {
+          if (board[nb] == 0) { libs = libs + 1; mark[nb] = 1; }
+          else if (board[nb] == color) {
+            mark[nb] = 1;
+            queue[tail] = nb; tail = tail + 1;
+          }
+        }
+        d = d + 1;
+      }
+    }
+    return libs;
+  }
+
+  // 3x3 pattern matcher: scores known local shapes (hane, cut, tiger's
+  // mouth analogues) around each point, like gobmk's pattern database.
+  int pattern_score(int pos, int dim) {
+    int c = board[pos];
+    if (c <= 0) return 0;
+    int friends = 0;
+    int enemies = 0;
+    int edges = 0;
+    for (int dy = 0 - 1; dy <= 1; dy = dy + 1)
+      for (int dx = 0 - 1; dx <= 1; dx = dx + 1)
+        if (dy != 0 || dx != 0) {
+          int nb = board[pos + dy * dim + dx];
+          if (nb == c) friends = friends + 1;
+          else if (nb > 0) enemies = enemies + 1;
+          else if (nb < 0) edges = edges + 1;
+        }
+    if (friends >= 2 && enemies == 0) return 3;       // solid shape
+    if (enemies >= 3 && friends == 0) return 0 - 2;   // surrounded
+    if (edges >= 3) return 1;                         // corner/edge shape
+    return friends - enemies;
+  }
+
+  // Influence propagation: each stone radiates falling influence in the
+  // four directions; three damping sweeps, like a dilation function.
+  global int influence[441];
+
+  int spread_influence(int dim) {
+    for (int i = 0; i < 441; i = i + 1) {
+      if (board[i] == 1) influence[i] = 64;
+      else if (board[i] == 2) influence[i] = 0 - 64;
+      else influence[i] = 0;
+    }
+    for (int sweep = 0; sweep < 3; sweep = sweep + 1) {
+      for (int y = 1; y < 20; y = y + 1)
+        for (int x = 1; x < 20; x = x + 1) {
+          int pos = y * dim + x;
+          int acc = influence[pos] * 4 + influence[pos - 1]
+                  + influence[pos + 1] + influence[pos - dim]
+                  + influence[pos + dim];
+          influence[pos] = acc / 8;
+        }
+    }
+    int territory = 0;
+    for (int y = 1; y < 20; y = y + 1)
+      for (int x = 1; x < 20; x = x + 1) {
+        int v = influence[y * dim + x];
+        if (v > 8) territory = territory + 1;
+        else if (v < 0 - 8) territory = territory - 1;
+      }
+    return territory;
+  }
+
+  int main(int seed, int positions) {
+    rnd_init(seed);
+    int dim = 21;
+    int checksum = 0;
+    for (int p = 0; p < positions; p = p + 1) {
+      for (int i = 0; i < 441; i = i + 1) { board[i] = 0 - 1; mark[i] = 0; }
+      for (int y = 1; y < 20; y = y + 1)
+        for (int x = 1; x < 20; x = x + 1)
+          board[y * dim + x] = rnd() % 3;   // 0 empty, 1 black, 2 white
+      for (int y = 1; y < 20; y = y + 1) {
+        for (int x = 1; x < 20; x = x + 1) {
+          int pos = y * dim + x;
+          int c = board[pos];
+          if (c > 0 && mark[pos] == 0) {
+            int libs = liberties(pos, c, dim);
+            if (libs == 0) checksum = checksum + 100;  // captured group
+            else checksum = checksum + libs * c;
+          }
+          checksum = checksum + pattern_score(pos, dim);
+        }
+      }
+      checksum = checksum + spread_influence(dim) * 10;
+    }
+    print_int(checksum);
+    return checksum & 127;
+  }
+|};
+  }

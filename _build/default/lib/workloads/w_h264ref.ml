@@ -1,0 +1,146 @@
+(* 464.h264ref analogue: motion estimation plus residual coding.  SAD
+   block search of a "current" frame against a reference over a search
+   window, then a 4x4 integer transform, quantization and zig-zag
+   run-length cost of each best residual — the encoder's two hot
+   kernels. *)
+
+let workload =
+  {
+    Workload.name = "464.h264ref";
+    description = "SAD motion search + 4x4 transform/quantize/RL coding";
+    train_args = [ 68l; 1l ];
+    ref_args = [ 67l; 1l ];
+    source =
+      Workload.prng_helpers
+      ^ {|
+  global int cur[4096];   // 64 x 64 current frame
+  global int refr[4096];  // 64 x 64 reference frame
+  global int best_rx;
+  global int best_ry;
+
+  int sad8(int cx, int cy, int rx, int ry) {
+    int acc = 0;
+    for (int y = 0; y < 8; y = y + 1) {
+      int crow = (cy + y) * 64 + cx;
+      int rrow = (ry + y) * 64 + rx;
+      for (int x = 0; x < 8; x = x + 1) {
+        int d = cur[crow + x] - refr[rrow + x];
+        if (d < 0) d = 0 - d;
+        acc = acc + d;
+      }
+    }
+    return acc;
+  }
+
+  int best_match(int cx, int cy) {
+    int best = 1000000000;
+    best_rx = cx;
+    best_ry = cy;
+    // +/- 3 pixel search window, clamped to the frame
+    for (int dy = 0 - 3; dy <= 3; dy = dy + 1) {
+      for (int dx = 0 - 3; dx <= 3; dx = dx + 1) {
+        int rx = cx + dx;
+        int ry = cy + dy;
+        if (rx >= 0 && ry >= 0 && rx <= 56 && ry <= 56) {
+          int s = sad8(cx, cy, rx, ry);
+          if (s < best) { best = s; best_rx = rx; best_ry = ry; }
+        }
+      }
+    }
+    return best;
+  }
+
+  // ---- residual coding path ----
+
+  global int blk[16];
+  global int coef[16];
+
+  // H.264-style 4x4 integer transform (butterfly rows then columns).
+  int transform4x4() {
+    for (int r = 0; r < 4; r = r + 1) {
+      int a = blk[r * 4] + blk[r * 4 + 3];
+      int b = blk[r * 4 + 1] + blk[r * 4 + 2];
+      int c = blk[r * 4 + 1] - blk[r * 4 + 2];
+      int d = blk[r * 4] - blk[r * 4 + 3];
+      coef[r * 4] = a + b;
+      coef[r * 4 + 1] = 2 * d + c;
+      coef[r * 4 + 2] = a - b;
+      coef[r * 4 + 3] = d - 2 * c;
+    }
+    for (int k = 0; k < 4; k = k + 1) {
+      int a = coef[k] + coef[12 + k];
+      int b = coef[4 + k] + coef[8 + k];
+      int c = coef[4 + k] - coef[8 + k];
+      int d = coef[k] - coef[12 + k];
+      coef[k] = a + b;
+      coef[4 + k] = 2 * d + c;
+      coef[8 + k] = a - b;
+      coef[12 + k] = d - 2 * c;
+    }
+    return coef[0];
+  }
+
+  int quantize(int qp) {
+    int nonzero = 0;
+    for (int i = 0; i < 16; i = i + 1) {
+      coef[i] = coef[i] / (qp + 1);
+      if (coef[i] != 0) nonzero = nonzero + 1;
+    }
+    return nonzero;
+  }
+
+  // Zig-zag run-length cost: long zero runs are cheap, like CAVLC.
+  global int zigzag[16] = {0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15};
+
+  int rl_cost() {
+    int cost = 0;
+    int run = 0;
+    for (int i = 0; i < 16; i = i + 1) {
+      int v = coef[zigzag[i]];
+      if (v == 0) run = run + 1;
+      else {
+        cost = cost + 4 + run;
+        if (v < 0) v = 0 - v;
+        while (v > 0) { cost = cost + 1; v = v >> 1; }
+        run = 0;
+      }
+    }
+    return cost;
+  }
+
+  int residual_cost(int cx, int cy, int rx, int ry) {
+    // top-left 4x4 of the residual block
+    for (int y = 0; y < 4; y = y + 1)
+      for (int x = 0; x < 4; x = x + 1)
+        blk[y * 4 + x] =
+          cur[(cy + y) * 64 + cx + x] - refr[(ry + y) * 64 + rx + x];
+    transform4x4();
+    quantize(6);
+    return rl_cost();
+  }
+
+  int main(int seed, int frames) {
+    rnd_init(seed);
+    int checksum = 0;
+    for (int i = 0; i < 4096; i = i + 1) refr[i] = rnd() % 256;
+    for (int f = 0; f < frames; f = f + 1) {
+      // current frame = shifted reference plus noise: realistic motion
+      int sx = rnd() % 5;
+      int sy = rnd() % 5;
+      for (int y = 0; y < 64; y = y + 1)
+        for (int x = 0; x < 64; x = x + 1) {
+          int rx = x + sx; if (rx > 63) rx = 63;
+          int ry = y + sy; if (ry > 63) ry = 63;
+          cur[y * 64 + x] = (refr[ry * 64 + rx] + rnd() % 9 - 4) & 255;
+        }
+      for (int by = 0; by <= 56; by = by + 8)
+        for (int bx = 0; bx <= 56; bx = bx + 8) {
+          checksum = checksum + best_match(bx, by);
+          checksum = checksum + residual_cost(bx, by, best_rx, best_ry);
+        }
+    }
+    print_int(checksum);
+    return checksum & 127;
+  }
+|};
+  }

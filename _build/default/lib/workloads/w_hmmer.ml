@@ -1,0 +1,70 @@
+(* 456.hmmer analogue: profile HMM scoring.  Viterbi-style max-plus
+   dynamic programming of random sequences against a random profile —
+   the dense DP recurrence that dominates hmmer. *)
+
+let workload =
+  {
+    Workload.name = "456.hmmer";
+    description = "Viterbi max-plus dynamic programming";
+    train_args = [ 53l; 1l ];
+    ref_args = [ 53l; 3l ];
+    source =
+      Workload.prng_helpers
+      ^ {|
+  global int emit[512];      // 128 states x 4 symbols
+  global int trans[128];     // state advance scores
+  global int dp_m[129];      // match row
+  global int dp_i[129];      // insert row
+  global int seq[256];
+
+  int score_sequence(int states, int len) {
+    int neg = 0 - 100000000;
+    for (int k = 0; k <= states; k = k + 1) { dp_m[k] = neg; dp_i[k] = neg; }
+    dp_m[0] = 0;
+    for (int pos = 0; pos < len; pos = pos + 1) {
+      int sym = seq[pos];
+      int prev_m = dp_m[0];
+      int prev_i = dp_i[0];
+      dp_m[0] = neg;
+      dp_i[0] = prev_i - 3;
+      if (prev_m - 5 > dp_i[0]) dp_i[0] = prev_m - 5;
+      for (int k = 1; k <= states; k = k + 1) {
+        int cur_m = dp_m[k];
+        int cur_i = dp_i[k];
+        // match: from previous column's k-1 match or insert
+        int from_m = prev_m + trans[k - 1];
+        int from_i = prev_i - 2;
+        int best = from_m;
+        if (from_i > best) best = from_i;
+        dp_m[k] = best + emit[(k - 1) * 4 + sym];
+        // insert: stay in k
+        int stay = cur_i - 3;
+        int open = cur_m - 7;
+        if (open > stay) dp_i[k] = open;
+        else dp_i[k] = stay;
+        prev_m = cur_m;
+        prev_i = cur_i;
+      }
+    }
+    int best = neg;
+    for (int k = 0; k <= states; k = k + 1)
+      if (dp_m[k] > best) best = dp_m[k];
+    return best;
+  }
+
+  int main(int seed, int sequences) {
+    rnd_init(seed);
+    int states = 128;
+    for (int i = 0; i < states * 4; i = i + 1) emit[i] = rnd() % 11 - 5;
+    for (int i = 0; i < states; i = i + 1) trans[i] = rnd() % 5 - 1;
+    int checksum = 0;
+    for (int s = 0; s < sequences; s = s + 1) {
+      int len = 128 + rnd() % 128;
+      for (int i = 0; i < len; i = i + 1) seq[i] = rnd() % 4;
+      checksum = checksum + score_sequence(states, len);
+    }
+    print_int(checksum);
+    return checksum & 127;
+  }
+|};
+  }

@@ -1,0 +1,52 @@
+(* 470.lbm analogue: lattice-Boltzmann relaxation.  A small D2Q5
+   streaming-and-collision kernel in fixed point; deliberately the tiniest
+   program of the suite, as 470.lbm is in the paper (its binary is mostly
+   C library code). *)
+
+let workload =
+  {
+    Workload.name = "470.lbm";
+    description = "D2Q5 lattice-Boltzmann streaming and collision";
+    train_args = [ 71l; 5l ];
+    ref_args = [ 71l; 20l ];
+    source =
+      {|
+  global int f0[1024];   // 32 x 32, rest density
+  global int fn_[1024];
+  global int fe[1024];
+  global int fs[1024];
+  global int fw[1024];
+
+  int main(int seed, int steps) {
+    int dim = 32;
+    int n = dim * dim;
+    for (int i = 0; i < n; i = i + 1) {
+      f0[i] = 1000 + (i * seed) % 97;
+      fn_[i] = 250; fe[i] = 250; fs[i] = 250; fw[i] = 250;
+    }
+    int checksum = 0;
+    for (int s = 0; s < steps; s = s + 1) {
+      for (int y = 0; y < dim; y = y + 1) {
+        int row = y * dim;
+        int up = ((y + dim - 1) % dim) * dim;
+        int dn = ((y + 1) % dim) * dim;
+        for (int x = 0; x < dim; x = x + 1) {
+          int lf = row + (x + dim - 1) % dim;
+          int rt = row + (x + 1) % dim;
+          int rho = f0[row + x] + fn_[up + x] + fe[lf] + fs[dn + x] + fw[rt];
+          int eq = rho / 5;
+          // single-relaxation-time collision toward equilibrium
+          f0[row + x] = f0[row + x] + (eq - f0[row + x]) / 2;
+          fn_[row + x] = fn_[up + x] + (eq - fn_[up + x]) / 2;
+          fe[row + x] = fe[lf] + (eq - fe[lf]) / 2;
+          fs[row + x] = fs[dn + x] + (eq - fs[dn + x]) / 2;
+          fw[row + x] = fw[rt] + (eq - fw[rt]) / 2;
+        }
+      }
+      checksum = checksum + f0[s % 1024];
+    }
+    print_int(checksum);
+    return checksum & 127;
+  }
+|};
+  }

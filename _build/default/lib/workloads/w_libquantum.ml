@@ -1,0 +1,61 @@
+(* 462.libquantum analogue: quantum register simulation.  Applies gate
+   sequences (X, controlled-NOT, phase bookkeeping) to a state table of
+   basis indices and integer amplitudes — libquantum's bit-twiddling over
+   a large state array. *)
+
+let workload =
+  {
+    Workload.name = "462.libquantum";
+    description = "gate application over a simulated quantum register";
+    train_args = [ 61l; 6l ];
+    ref_args = [ 61l; 35l ];
+    source =
+      Workload.prng_helpers
+      ^ {|
+  global int basis[4096];
+  global int amp[4096];
+
+  int apply_x(int n, int target) {
+    int bit = 1 << target;
+    for (int i = 0; i < n; i = i + 1) basis[i] = basis[i] ^ bit;
+    return 0;
+  }
+
+  int apply_cnot(int n, int control, int target) {
+    int cbit = 1 << control;
+    int tbit = 1 << target;
+    for (int i = 0; i < n; i = i + 1)
+      if (basis[i] & cbit) basis[i] = basis[i] ^ tbit;
+    return 0;
+  }
+
+  int apply_phase(int n, int target, int k) {
+    int bit = 1 << target;
+    for (int i = 0; i < n; i = i + 1)
+      if (basis[i] & bit) amp[i] = amp[i] * k % 65521;
+    return 0;
+  }
+
+  int main(int seed, int gates) {
+    rnd_init(seed);
+    int n = 4096;
+    int qubits = 12;
+    for (int i = 0; i < n; i = i + 1) { basis[i] = i; amp[i] = 1 + i % 7; }
+    for (int g = 0; g < gates; g = g + 1) {
+      int kind = rnd() % 3;
+      int t = rnd() % qubits;
+      if (kind == 0) apply_x(n, t);
+      else if (kind == 1) {
+        int c = rnd() % qubits;
+        if (c == t) c = (c + 1) % qubits;
+        apply_cnot(n, c, t);
+      }
+      else apply_phase(n, t, 3 + rnd() % 64);
+    }
+    int checksum = 0;
+    for (int i = 0; i < n; i = i + 1) checksum = checksum ^ basis[i] + amp[i];
+    print_int(checksum);
+    return checksum & 127;
+  }
+|};
+  }

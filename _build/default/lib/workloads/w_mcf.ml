@@ -1,0 +1,58 @@
+(* 429.mcf analogue: single-source shortest paths (Bellman-Ford) on a
+   random sparse graph stored in edge arrays — the memory-bound relaxation
+   sweep is the hot loop, as in mcf's network simplex. *)
+
+let workload =
+  {
+    Workload.name = "429.mcf";
+    description = "Bellman-Ford shortest paths on a sparse random graph";
+    train_args = [ 7l; 40l ];
+    ref_args = [ 7l; 500l ];
+    source =
+      Workload.prng_helpers
+      ^ {|
+  global int edge_src[4096];
+  global int edge_dst[4096];
+  global int edge_w[4096];
+  global int dist[512];
+
+  int main(int seed, int nodes) {
+    rnd_init(seed);
+    if (nodes > 512) nodes = 512;
+    int edges = nodes * 8;
+    if (edges > 4096) edges = 4096;
+    for (int e = 0; e < edges; e = e + 1) {
+      edge_src[e] = rnd() % nodes;
+      edge_dst[e] = rnd() % nodes;
+      edge_w[e] = 1 + rnd() % 100;
+    }
+    int inf = 1000000000;
+    for (int v = 0; v < nodes; v = v + 1) dist[v] = inf;
+    dist[0] = 0;
+    // Bellman-Ford: nodes-1 relaxation rounds with early exit.
+    for (int round = 0; round < nodes - 1; round = round + 1) {
+      int changed = 0;
+      for (int e = 0; e < edges; e = e + 1) {
+        int du = dist[edge_src[e]];
+        if (du != inf) {
+          int cand = du + edge_w[e];
+          if (cand < dist[edge_dst[e]]) {
+            dist[edge_dst[e]] = cand;
+            changed = 1;
+          }
+        }
+      }
+      if (changed == 0) break;
+    }
+    int checksum = 0;
+    int unreachable = 0;
+    for (int v = 0; v < nodes; v = v + 1) {
+      if (dist[v] == inf) unreachable = unreachable + 1;
+      else checksum = checksum + dist[v];
+    }
+    print_int(checksum);
+    print_int(unreachable);
+    return checksum & 127;
+  }
+|};
+  }

@@ -1,0 +1,46 @@
+(* 433.milc analogue: lattice field update.  Sweeps a 2D periodic lattice
+   applying a neighbor stencil with integer "link" weights — the
+   structured, regular array traversal of lattice QCD. *)
+
+let workload =
+  {
+    Workload.name = "433.milc";
+    description = "periodic-lattice stencil sweeps with link weights";
+    train_args = [ 3l; 2l ];
+    ref_args = [ 3l; 8l ];
+    source =
+      Workload.prng_helpers
+      ^ {|
+  global int field[4096];   // 64 x 64 lattice
+  global int links[4096];
+  global int next[4096];
+
+  int main(int seed, int sweeps) {
+    rnd_init(seed);
+    int dim = 64;
+    int n = dim * dim;
+    for (int i = 0; i < n; i = i + 1) {
+      field[i] = rnd() % 17 - 8;
+      links[i] = 1 + rnd() % 3;
+    }
+    for (int s = 0; s < sweeps; s = s + 1) {
+      for (int y = 0; y < dim; y = y + 1) {
+        int up = ((y + dim - 1) % dim) * dim;
+        int down = ((y + 1) % dim) * dim;
+        int row = y * dim;
+        for (int x = 0; x < dim; x = x + 1) {
+          int l = row + (x + dim - 1) % dim;
+          int r = row + (x + 1) % dim;
+          int acc = field[up + x] + field[down + x] + field[l] + field[r];
+          next[row + x] = (acc * links[row + x] + field[row + x]) >> 2;
+        }
+      }
+      for (int i = 0; i < n; i = i + 1) field[i] = next[i];
+    }
+    int checksum = 0;
+    for (int i = 0; i < n; i = i + 1) checksum = checksum ^ (field[i] + i);
+    print_int(checksum);
+    return checksum & 127;
+  }
+|};
+  }

@@ -1,0 +1,59 @@
+(* 444.namd analogue: pairwise force computation.  Fixed-point N-body
+   forces with a distance cutoff — the O(n^2) inner pair loop dominated by
+   multiply-heavy arithmetic, like namd's nonbonded kernel. *)
+
+let workload =
+  {
+    Workload.name = "444.namd";
+    description = "fixed-point pairwise forces with cutoff";
+    train_args = [ 17l; 1l ];
+    ref_args = [ 17l; 2l ];
+    source =
+      Workload.prng_helpers
+      ^ {|
+  global int px[256];
+  global int py[256];
+  global int pz[256];
+  global int fx[256];
+  global int fy[256];
+  global int fz[256];
+
+  int main(int seed, int steps) {
+    rnd_init(seed);
+    int n = 256;
+    for (int i = 0; i < n; i = i + 1) {
+      px[i] = rnd() % 1000;
+      py[i] = rnd() % 1000;
+      pz[i] = rnd() % 1000;
+    }
+    int cutoff2 = 90000;
+    int checksum = 0;
+    for (int s = 0; s < steps; s = s + 1) {
+      for (int i = 0; i < n; i = i + 1) { fx[i] = 0; fy[i] = 0; fz[i] = 0; }
+      for (int i = 0; i < n; i = i + 1) {
+        for (int j = i + 1; j < n; j = j + 1) {
+          int dx = px[i] - px[j];
+          int dy = py[i] - py[j];
+          int dz = pz[i] - pz[j];
+          int r2 = dx * dx + dy * dy + dz * dz;
+          if (r2 < cutoff2 && r2 > 0) {
+            // fixed-point inverse-square-ish kernel
+            int f = 1000000 / (r2 + 16);
+            fx[i] = fx[i] + dx * f; fx[j] = fx[j] - dx * f;
+            fy[i] = fy[i] + dy * f; fy[j] = fy[j] - dy * f;
+            fz[i] = fz[i] + dz * f; fz[j] = fz[j] - dz * f;
+          }
+        }
+      }
+      for (int i = 0; i < n; i = i + 1) {
+        px[i] = px[i] + (fx[i] >> 12);
+        py[i] = py[i] + (fy[i] >> 12);
+        pz[i] = pz[i] + (fz[i] >> 12);
+        checksum = checksum + fx[i] - fz[i];
+      }
+    }
+    print_int(checksum);
+    return checksum & 127;
+  }
+|};
+  }

@@ -1,0 +1,145 @@
+(* 471.omnetpp analogue: discrete-event simulation.  A binary-heap future
+   event set drives a queueing network of stations; every event schedules
+   followers — the heap churn and pointer-style indirection of a network
+   simulator. *)
+
+let workload =
+  {
+    Workload.name = "471.omnetpp";
+    description = "discrete-event queueing network over a binary heap";
+    train_args = [ 73l; 300l ];
+    ref_args = [ 73l; 2500l ];
+    source =
+      Workload.prng_helpers
+      ^ {|
+  global int heap_time[8192];
+  global int heap_data[8192];
+  global int heap_size;
+  global int station_busy[32];
+  global int station_queue[32];
+  global int processed;
+
+  int heap_push(int time, int data) {
+    int i = heap_size;
+    heap_size = heap_size + 1;
+    heap_time[i] = time;
+    heap_data[i] = data;
+    while (i > 0) {
+      int parent = (i - 1) / 2;
+      if (heap_time[parent] <= heap_time[i]) break;
+      int tt = heap_time[parent]; heap_time[parent] = heap_time[i]; heap_time[i] = tt;
+      int td = heap_data[parent]; heap_data[parent] = heap_data[i]; heap_data[i] = td;
+      i = parent;
+    }
+    return heap_size;
+  }
+
+  int heap_pop() {
+    int top = heap_data[0];
+    heap_size = heap_size - 1;
+    heap_time[0] = heap_time[heap_size];
+    heap_data[0] = heap_data[heap_size];
+    int i = 0;
+    while (1) {
+      int l = 2 * i + 1;
+      int r = l + 1;
+      int smallest = i;
+      if (l < heap_size && heap_time[l] < heap_time[smallest]) smallest = l;
+      if (r < heap_size && heap_time[r] < heap_time[smallest]) smallest = r;
+      if (smallest == i) break;
+      int tt = heap_time[smallest]; heap_time[smallest] = heap_time[i]; heap_time[i] = tt;
+      int td = heap_data[smallest]; heap_data[smallest] = heap_data[i]; heap_data[i] = td;
+      i = smallest;
+    }
+    return top;
+  }
+
+  // Per-station service statistics: count and fixed-point running mean
+  // of inter-arrival gaps, like a simulator's signal recorders.
+  global int stat_count[32];
+  global int stat_mean[32];   // scaled by 256
+  global int stat_last[32];
+
+  int record_arrival(int station, int now) {
+    int gap = now - stat_last[station];
+    stat_last[station] = now;
+    stat_count[station] = stat_count[station] + 1;
+    // exponential moving average, alpha = 1/8
+    int scaled = gap << 8;
+    stat_mean[station] = stat_mean[station]
+                       + (scaled - stat_mean[station]) / 8;
+    return stat_mean[station];
+  }
+
+  // Static routing table: all-pairs shortest hops over a ring-with-chords
+  // topology of the 32 stations, computed once at startup
+  // (Floyd-Warshall).
+  global int hops[1024];
+
+  int build_routes() {
+    for (int i = 0; i < 32; i = i + 1)
+      for (int j = 0; j < 32; j = j + 1) {
+        int d = 99;
+        if (i == j) d = 0;
+        if ((i + 1) % 32 == j || (j + 1) % 32 == i) d = 1;  // ring
+        if ((i ^ j) == 16) d = 1;                            // chords
+        hops[i * 32 + j] = d;
+      }
+    for (int k = 0; k < 32; k = k + 1)
+      for (int i = 0; i < 32; i = i + 1)
+        for (int j = 0; j < 32; j = j + 1) {
+          int via = hops[i * 32 + k] + hops[k * 32 + j];
+          if (via < hops[i * 32 + j]) hops[i * 32 + j] = via;
+        }
+    int total = 0;
+    for (int i = 0; i < 1024; i = i + 1) total = total + hops[i];
+    return total;
+  }
+
+  int main(int seed, int events) {
+    rnd_init(seed);
+    heap_size = 0;
+    processed = 0;
+    int route_sum = build_routes();
+    for (int s = 0; s < 32; s = s + 1) {
+      station_busy[s] = 0;
+      station_queue[s] = 0;
+      stat_count[s] = 0;
+      stat_mean[s] = 0;
+      stat_last[s] = 0;
+    }
+    // prime the event set
+    for (int k = 0; k < 16; k = k + 1) heap_push(rnd() % 100, rnd() % 32);
+    int now = 0;
+    int checksum = 0;
+    while (processed < events && heap_size > 0) {
+      int station = heap_pop();
+      processed = processed + 1;
+      now = now + 1;
+      record_arrival(station, now);
+      if (station_busy[station]) {
+        station_queue[station] = station_queue[station] + 1;
+        // requeue for later (cold when the network is uncongested)
+        if (heap_size < 8000) heap_push(now + 13 + rnd() % 37, station);
+      } else {
+        station_busy[station] = 1;
+        checksum = checksum + station;
+        int hops = 1 + rnd() % 3;
+        for (int h = 0; h < hops && heap_size < 8000; h = h + 1)
+          heap_push(now + 1 + rnd() % 97, rnd() % 32);
+        station_busy[station] = 0;
+        if (station_queue[station] > 0)
+          station_queue[station] = station_queue[station] - 1;
+      }
+    }
+    // fold the recorded statistics and routing table into the output
+    int stat_sum = 0;
+    for (int s = 0; s < 32; s = s + 1)
+      stat_sum = stat_sum + stat_mean[s] / 256 + stat_count[s];
+    print_int(checksum);
+    print_int(processed);
+    print_int(stat_sum + route_sum);
+    return checksum & 127;
+  }
+|};
+  }

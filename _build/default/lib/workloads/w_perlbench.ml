@@ -1,0 +1,134 @@
+(* 400.perlbench analogue: a script interpreter.  A synthetic "script" of
+   register ops is generated from the seed, then interpreted many times in
+   a dispatch loop — the hot code is the opcode dispatch, as in a real
+   language runtime. *)
+
+let workload =
+  {
+    Workload.name = "400.perlbench";
+    description = "bytecode interpreter with opcode dispatch loop";
+    train_args = [ 11l; 15l ];
+    ref_args = [ 11l; 75l ];
+    source =
+      Workload.prng_helpers
+      ^ {|
+  global int script[512];
+  global int regs[8];
+  global int memory[256];
+
+  int gen_script(int len) {
+    for (int i = 0; i < len; i = i + 1) {
+      int op = rnd() % 9;
+      int a = rnd() % 8;
+      int b = rnd() % 8;
+      int imm = rnd() % 256;
+      script[i] = op * 1000000 + a * 10000 + b * 100 + (imm % 100);
+    }
+    return len;
+  }
+
+  int interp(int len, int rounds) {
+    int checksum = 0;
+    for (int r = 0; r < rounds; r = r + 1) {
+      for (int pc = 0; pc < len; pc = pc + 1) {
+        int packed = script[pc];
+        int op = packed / 1000000;
+        int a = (packed / 10000) % 100;
+        int b = (packed / 100) % 100;
+        int imm = packed % 100;
+        if (op == 0) regs[a] = imm;
+        else if (op == 1) regs[a] = regs[a] + regs[b];
+        else if (op == 2) regs[a] = regs[a] - regs[b];
+        else if (op == 3) regs[a] = regs[a] ^ regs[b];
+        else if (op == 4) regs[a] = regs[a] & (regs[b] | 1);
+        else if (op == 5) memory[(regs[b] + imm) & 255] = regs[a];
+        else if (op == 6) regs[a] = memory[(regs[b] + imm) & 255];
+        else if (op == 7) regs[a] = regs[a] << (imm & 7);
+        else regs[a] = regs[a] >> (imm & 7);
+      }
+      checksum = checksum + regs[0] + regs[7];
+    }
+    return checksum;
+  }
+
+  // --- the "compile" phase a language runtime performs before the
+  //     dispatch loop gets hot ---
+
+  // Symbol interning: open-addressed hash table of identifiers (ints).
+  global int sym_keys[128];
+  global int sym_used[128];
+
+  int intern(int key) {
+    int h = (key * 2057) & 127;
+    while (sym_used[h]) {
+      if (sym_keys[h] == key) return h;
+      h = (h + 1) & 127;
+    }
+    sym_used[h] = 1;
+    sym_keys[h] = key;
+    return h;
+  }
+
+  // Regex-lite: does pattern (with 0 as single-char wildcard) occur in
+  // the subject array?  Classic nested-loop matcher.
+  int rmatch(int sub_off, int sub_len, int pat_off, int pat_len) {
+    for (int s = 0; s + pat_len <= sub_len; s = s + 1) {
+      int ok = 1;
+      for (int p = 0; p < pat_len && ok; p = p + 1) {
+        int pc = memory[(pat_off + p) & 255];
+        int sc = memory[(sub_off + s + p) & 255];
+        if (pc != 0 && pc != sc) ok = 0;
+      }
+      if (ok) return s;
+    }
+    return 0 - 1;
+  }
+
+  // Peephole over the script: fold "load a, imm ; shl a, k" pairs into a
+  // preshifted load, like a bytecode optimizer.
+  int peephole(int len) {
+    int folded = 0;
+    for (int i = 0; i + 1 < len; i = i + 1) {
+      int op1 = script[i] / 1000000;
+      int op2 = script[i + 1] / 1000000;
+      int a1 = (script[i] / 10000) % 100;
+      int a2 = (script[i + 1] / 10000) % 100;
+      if (op1 == 0 && op2 == 7 && a1 == a2) {
+        int imm = script[i] % 100;
+        int k = script[i + 1] % 100 & 7;
+        // replace the pair with "load a, (imm << k) % 100 ; load a, same":
+        // the second becomes redundant but keeps the script length fixed.
+        int pre = (imm << k) % 100;
+        script[i] = a1 * 10000 + pre;
+        script[i + 1] = a2 * 10000 + pre;
+        folded = folded + 1;
+      }
+    }
+    return folded;
+  }
+
+  int main(int seed, int rounds) {
+    rnd_init(seed);
+    if (rounds <= 0) {
+      // cold error path, mirrors a usage message
+      put_char('e'); put_char('r'); put_char('r'); put_char(10);
+      exit(1);
+    }
+    int len = gen_script(512);
+    // compile phase: intern "identifiers", pattern-scan the data area,
+    // and run the bytecode peephole once.
+    int syms = 0;
+    for (int i = 0; i < 128; i = i + 1) { sym_used[i] = 0; sym_keys[i] = 0; }
+    for (int i = 0; i < 200; i = i + 1) syms = syms + intern(rnd() % 97);
+    for (int i = 0; i < 256; i = i + 1) memory[i] = rnd() % 7;
+    int matches = 0;
+    for (int q = 0; q < 24; q = q + 1) {
+      if (rmatch(q * 8, 64, 128 + q, 3 + (q % 3)) >= 0) matches = matches + 1;
+    }
+    int folded = peephole(len);
+    int checksum = interp(len, rounds);
+    print_int(checksum + syms + matches * 100 + folded);
+    return checksum & 127;
+  }
+|};
+  }

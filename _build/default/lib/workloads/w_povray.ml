@@ -1,0 +1,152 @@
+(* 453.povray analogue: ray casting.  Integer ray-sphere intersection over
+   a small scene rendered to a buffer, with an integer square root in the
+   shading path — the per-pixel geometric arithmetic of a ray tracer. *)
+
+let workload =
+  {
+    Workload.name = "453.povray";
+    description = "integer ray-sphere casting with isqrt shading";
+    train_args = [ 48l; 1l ];
+    ref_args = [ 47l; 1l ];
+    source =
+      Workload.prng_helpers
+      ^ {|
+  global int sx[16];
+  global int sy[16];
+  global int sz[16];
+  global int sr2[16];
+  global int frame[4096];   // 64 x 64
+
+  int isqrt(int v) {
+    if (v <= 0) return 0;
+    // Monotone Newton descent: strictly decreasing until convergence,
+    // which avoids the classic two-value oscillation of the naive form.
+    int r = v;
+    int next = (r + 1) >> 1;
+    while (next < r) {
+      r = next;
+      next = (r + v / r) >> 1;
+    }
+    return r;
+  }
+
+  int trace(int ox, int oy, int nspheres) {
+    int best = 1000000000;
+    int hit = 0 - 1;
+    for (int s = 0; s < nspheres; s = s + 1) {
+      int dx = ox - sx[s];
+      int dy = oy - sy[s];
+      int d2 = dx * dx + dy * dy;
+      if (d2 < sr2[s]) {
+        // depth of intersection along z
+        int depth = sz[s] - isqrt(sr2[s] - d2);
+        if (depth < best) { best = depth; hit = s; }
+      }
+    }
+    if (hit < 0) return 0;
+    int shade = 255 - best / 4;
+    if (shade < 0) shade = 0;
+    return shade + hit;
+  }
+
+  // Checkerboard ground plane: rays missing all spheres hit the plane
+  // and get the classic two-tone pattern, with distance fog.
+  int plane_shade(int ox, int oy) {
+    int tile = ((ox / 80) + (oy / 80)) & 1;
+    int base = 40 + tile * 60;
+    int fog = (ox + oy) / 32;
+    if (fog > base) return 0;
+    return base - fog;
+  }
+
+  // 2x2 supersampling: average four sub-pixel traces (anti-aliasing).
+  int sample_aa(int px, int py, int nspheres) {
+    int acc = 0;
+    for (int sy_ = 0; sy_ < 2; sy_ = sy_ + 1)
+      for (int sx_ = 0; sx_ < 2; sx_ = sx_ + 1) {
+        int v = trace(px + sx_ * 5, py + sy_ * 5, nspheres);
+        if (v == 0) v = plane_shade(px + sx_ * 5, py + sy_ * 5);
+        acc = acc + v;
+      }
+    return acc / 4;
+  }
+
+  // Median-cut-lite palette quantization of the rendered frame: map
+  // shades onto 16 buckets chosen from the frame's own histogram.
+  global int histogram[256];
+  global int palette[16];
+
+  int quantize_frame() {
+    for (int i = 0; i < 256; i = i + 1) histogram[i] = 0;
+    for (int i = 0; i < 4096; i = i + 1) {
+      int v = frame[i] & 255;
+      histogram[v] = histogram[v] + 1;
+    }
+    // pick the 16 evenly-spaced population quantiles as the palette
+    int total = 4096;
+    int per = total / 16;
+    int acc = 0;
+    int next = 0;
+    for (int v = 0; v < 256 && next < 16; v = v + 1) {
+      acc = acc + histogram[v];
+      while (next < 16 && acc > next * per) {
+        palette[next] = v;
+        next = next + 1;
+      }
+    }
+    while (next < 16) { palette[next] = 255; next = next + 1; }
+    // remap each pixel to its nearest palette entry
+    int err = 0;
+    for (int i = 0; i < 4096; i = i + 1) {
+      int v = frame[i] & 255;
+      int best = 0;
+      int bestd = 1000;
+      for (int p = 0; p < 16; p = p + 1) {
+        int d = v - palette[p];
+        if (d < 0) d = 0 - d;
+        if (d < bestd) { bestd = d; best = p; }
+      }
+      frame[i] = best;
+      err = err + bestd;
+    }
+    return err;
+  }
+
+  int main(int seed, int frames) {
+    rnd_init(seed);
+    int nspheres = 16;
+    int checksum = 0;
+    for (int f = 0; f < frames; f = f + 1) {
+      for (int s = 0; s < nspheres; s = s + 1) {
+        sx[s] = rnd() % 640;
+        sy[s] = rnd() % 640;
+        sz[s] = 100 + rnd() % 800;
+        int r = 20 + rnd() % 120;
+        sr2[s] = r * r;
+      }
+      for (int y = 0; y < 64; y = y + 1)
+        for (int x = 0; x < 64; x = x + 1) {
+          int v = trace(x * 10, y * 10, nspheres);
+          if (v == 0) v = plane_shade(x * 10, y * 10);
+          frame[y * 64 + x] = v;
+        }
+      // adaptive anti-aliasing: only pixels on a shading edge get the
+      // 2x2 supersampling treatment
+      for (int y = 1; y < 63; y = y + 1)
+        for (int x = 1; x < 63; x = x + 1) {
+          int here = frame[y * 64 + x];
+          int d = here - frame[y * 64 + x - 1];
+          if (d < 0) d = 0 - d;
+          int d2 = here - frame[(y - 1) * 64 + x];
+          if (d2 < 0) d2 = 0 - d2;
+          if (d > 16 || d2 > 16)
+            frame[y * 64 + x] = sample_aa(x * 10, y * 10, nspheres);
+        }
+      checksum = checksum + quantize_frame();
+      for (int i = 0; i < 4096; i = i + 64) checksum = checksum + frame[i];
+    }
+    print_int(checksum);
+    return checksum & 127;
+  }
+|};
+  }

@@ -1,0 +1,114 @@
+(* 458.sjeng analogue: game-tree search.  Alpha-beta minimax over a
+   synthetic game whose move values derive from a hash of the path — the
+   deeply recursive, branchy searching of a chess engine. *)
+
+let workload =
+  {
+    Workload.name = "458.sjeng";
+    description = "alpha-beta minimax over a synthetic game tree";
+    train_args = [ 59l; 2l ];
+    ref_args = [ 59l; 13l ];
+    source =
+      Workload.prng_helpers
+      ^ {|
+  global int nodes_visited;
+  global int cutoffs;
+
+  int move_value(int state, int move) {
+    int h = state * 0x9E3779B1 + move * 40503;
+    h = h ^ (h >> 13);
+    return h;
+  }
+
+  // History heuristic table: moves that caused cutoffs before get a
+  // bonus so they are tried first.
+  global int history[256];
+
+  int record_cutoff(int move, int depth) {
+    history[move & 255] = history[move & 255] + depth * depth;
+    return 0;
+  }
+
+  // Static evaluation with a "piece-square" table — centre squares score
+  // higher, pieces placed by the state hash, as in a real engine.
+  global int psq[64];
+
+  int init_psq() {
+    for (int sq = 0; sq < 64; sq = sq + 1) {
+      int file = sq & 7;
+      int rank = sq >> 3;
+      int cf = file; if (cf > 3) cf = 7 - file;
+      int cr = rank; if (cr > 3) cr = 7 - rank;
+      psq[sq] = (cf + cr) * 5;
+    }
+    return 0;
+  }
+
+  int static_eval(int state) {
+    int score = 0;
+    int h = state;
+    // six "pieces" placed by hash bits
+    for (int p = 0; p < 6; p = p + 1) {
+      score = score + psq[h & 63] * (1 + (p & 1));
+      h = h >> 5;
+    }
+    score = score + move_value(state, 0) % 512;
+    return score % 2001 - 1000;
+  }
+
+  int search(int state, int depth, int alpha, int beta, int maximizing) {
+    nodes_visited = nodes_visited + 1;
+    if (depth == 0) return static_eval(state);
+    int branching = 2 + (state & 3);
+    if (maximizing) {
+      int best = 0 - 1000000;
+      for (int m = 0; m < branching; m = m + 1) {
+        int child = move_value(state, m);
+        int v = search(child, depth - 1, alpha, beta, 0);
+        if (v > best) best = v;
+        if (best > alpha) alpha = best;
+        if (alpha >= beta) {
+          cutoffs = cutoffs + 1;
+          record_cutoff(child, depth);
+          break;
+        }
+      }
+      return best;
+    } else {
+      int best = 1000000;
+      for (int m = 0; m < branching; m = m + 1) {
+        int child = move_value(state, m);
+        int v = search(child, depth - 1, alpha, beta, 1);
+        if (v < best) best = v;
+        if (best < beta) beta = best;
+        if (alpha >= beta) {
+          cutoffs = cutoffs + 1;
+          record_cutoff(child, depth);
+          break;
+        }
+      }
+      return best;
+    }
+  }
+
+  int main(int seed, int positions) {
+    rnd_init(seed);
+    nodes_visited = 0;
+    cutoffs = 0;
+    init_psq();
+    for (int i = 0; i < 256; i = i + 1) history[i] = 0;
+    int checksum = 0;
+    for (int p = 0; p < positions; p = p + 1) {
+      int root = rnd() * 31337 + p;
+      checksum = checksum + search(root, 7, 0 - 1000000, 1000000, 1);
+    }
+    int hist_sum = 0;
+    for (int i = 0; i < 256; i = i + 1) hist_sum = hist_sum + history[i];
+    print_int(checksum);
+    print_int(nodes_visited);
+    print_int(cutoffs);
+    print_int(hist_sum);
+    return checksum & 127;
+  }
+|};
+  }

@@ -1,0 +1,81 @@
+(* 450.soplex analogue: dense linear solving.  Gaussian elimination with
+   partial pivoting over integers modulo a prime — the row-reduction
+   pivot loops of an LP solver's basis factorization. *)
+
+let workload =
+  {
+    Workload.name = "450.soplex";
+    description = "modular Gaussian elimination with partial pivoting";
+    train_args = [ 41l; 1l ];
+    ref_args = [ 41l; 2l ];
+    source =
+      Workload.prng_helpers
+      ^ {|
+  global int mat[1600];   // 40 x 40
+  global int piv_count;
+
+  int mod_p(int v) {
+    int p = 10007;
+    int r = v % p;
+    if (r < 0) r = r + p;
+    return r;
+  }
+
+  // a^(p-2) mod p: modular inverse by fast exponentiation.
+  int mod_inv(int a) {
+    int p = 10007;
+    int e = p - 2;
+    int base = mod_p(a);
+    int acc = 1;
+    while (e > 0) {
+      if (e & 1) acc = mod_p(acc * base);
+      base = mod_p(base * base);
+      e = e >> 1;
+    }
+    return acc;
+  }
+
+  int eliminate(int n) {
+    int det = 1;
+    for (int k = 0; k < n; k = k + 1) {
+      // partial pivot: first nonzero at or below k
+      int prow = 0 - 1;
+      for (int r = k; r < n && prow < 0; r = r + 1)
+        if (mat[r * n + k] != 0) prow = r;
+      if (prow < 0) return 0;   // singular (cold path)
+      if (prow != k) {
+        for (int c = 0; c < n; c = c + 1) {
+          int tmp = mat[k * n + c];
+          mat[k * n + c] = mat[prow * n + c];
+          mat[prow * n + c] = tmp;
+        }
+        det = mod_p(0 - det);
+        piv_count = piv_count + 1;
+      }
+      int inv = mod_inv(mat[k * n + k]);
+      det = mod_p(det * mat[k * n + k]);
+      for (int r = k + 1; r < n; r = r + 1) {
+        int factor = mod_p(mat[r * n + k] * inv);
+        if (factor != 0)
+          for (int c = k; c < n; c = c + 1)
+            mat[r * n + c] = mod_p(mat[r * n + c] - factor * mat[k * n + c]);
+      }
+    }
+    return det;
+  }
+
+  int main(int seed, int systems) {
+    rnd_init(seed);
+    int n = 40;
+    int checksum = 0;
+    piv_count = 0;
+    for (int s = 0; s < systems; s = s + 1) {
+      for (int i = 0; i < n * n; i = i + 1) mat[i] = rnd() % 10007;
+      checksum = checksum + eliminate(n);
+    }
+    print_int(checksum);
+    print_int(piv_count);
+    return checksum & 127;
+  }
+|};
+  }

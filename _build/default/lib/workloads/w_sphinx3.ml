@@ -1,0 +1,58 @@
+(* 482.sphinx3 analogue: acoustic scoring.  Per-frame Gaussian-mixture
+   style scoring: for every frame and every senone, accumulate weighted
+   squared distances over feature dimensions and track the best — the
+   dense multiply-accumulate scoring loop of a speech recognizer. *)
+
+let workload =
+  {
+    Workload.name = "482.sphinx3";
+    description = "GMM-style senone scoring of feature frames";
+    train_args = [ 83l; 8l ];
+    ref_args = [ 83l; 40l ];
+    source =
+      Workload.prng_helpers
+      ^ {|
+  global int means[2048];    // 64 senones x 32 dims
+  global int vars_[2048];
+  global int feat[32];
+  global int best_senone[512];
+
+  int score_frame(int frame_idx) {
+    int best = 0 - 1000000000;
+    int arg = 0;
+    for (int s = 0; s < 64; s = s + 1) {
+      int acc = 0;
+      int base = s * 32;
+      for (int d = 0; d < 32; d = d + 1) {
+        int diff = feat[d] - means[base + d];
+        acc = acc - diff * diff / (vars_[base + d] + 1);
+      }
+      if (acc > best) { best = acc; arg = s; }
+    }
+    best_senone[frame_idx & 511] = arg;
+    return best;
+  }
+
+  int main(int seed, int frames) {
+    rnd_init(seed);
+    for (int i = 0; i < 2048; i = i + 1) {
+      means[i] = rnd() % 256 - 128;
+      vars_[i] = 1 + rnd() % 31;
+    }
+    int checksum = 0;
+    for (int f = 0; f < frames; f = f + 1) {
+      // synthesize a frame that drifts over time, like real speech
+      for (int d = 0; d < 32; d = d + 1)
+        feat[d] = (rnd() % 64) + (f % 128) - 96;
+      checksum = checksum + score_frame(f);
+      // cold path: silence detection resets the feature vector
+      if (checksum % 9973 == 0) {
+        for (int d = 0; d < 32; d = d + 1) feat[d] = 0;
+        checksum = checksum + score_frame(f);
+      }
+    }
+    print_int(checksum);
+    return checksum & 127;
+  }
+|};
+  }

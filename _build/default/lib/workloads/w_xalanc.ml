@@ -1,0 +1,212 @@
+(* 483.xalancbmk analogue: document-tree transformation.  Builds a large
+   random "document" tree in arrays, then runs several distinct passes —
+   pattern matching, attribute rewriting, subtree statistics, and
+   serialization — the many-small-functions shape of an XSLT processor.
+   Deliberately the largest program of the suite, as 483.xalancbmk is in
+   the paper. *)
+
+let workload =
+  {
+    Workload.name = "483.xalancbmk";
+    description = "tree build, match, rewrite and serialize passes";
+    train_args = [ 89l; 3l ];
+    ref_args = [ 89l; 14l ];
+    source =
+      Workload.prng_helpers
+      ^ {|
+  global int tag[8192];
+  global int first_child[8192];
+  global int next_sibling[8192];
+  global int attr[8192];
+  global int node_count;
+  global int out_count;
+
+  int new_node(int t, int a) {
+    int id = node_count;
+    node_count = node_count + 1;
+    tag[id] = t;
+    attr[id] = a;
+    first_child[id] = 0 - 1;
+    next_sibling[id] = 0 - 1;
+    return id;
+  }
+
+  int build(int depth, int fanout) {
+    int id = new_node(rnd() % 12, rnd() % 100);
+    if (depth > 0 && node_count < 8000) {
+      int prev = 0 - 1;
+      int kids = 1 + rnd() % fanout;
+      for (int k = 0; k < kids; k = k + 1) {
+        if (node_count >= 8000) break;
+        int child = build(depth - 1, fanout);
+        if (prev < 0) first_child[id] = child;
+        else next_sibling[prev] = child;
+        prev = child;
+      }
+    }
+    return id;
+  }
+
+  // Count nodes matching a (tag, ancestor-tag) pattern, like an XPath
+  // "a//b" query.
+  int match_pattern(int id, int want, int ancestor_tag, int seen_ancestor) {
+    int hits = 0;
+    if (tag[id] == ancestor_tag) seen_ancestor = 1;
+    if (seen_ancestor && tag[id] == want) hits = 1;
+    int c = first_child[id];
+    while (c >= 0) {
+      hits = hits + match_pattern(c, want, ancestor_tag, seen_ancestor);
+      c = next_sibling[c];
+    }
+    return hits;
+  }
+
+  // Rewrite attributes bottom-up: each node's attribute becomes a hash of
+  // its subtree, like computing template keys.
+  int rewrite(int id) {
+    int h = tag[id] * 31 + attr[id];
+    int c = first_child[id];
+    while (c >= 0) {
+      h = h * 37 + rewrite(c);
+      c = next_sibling[c];
+    }
+    attr[id] = h & 65535;
+    return attr[id];
+  }
+
+  // Subtree statistics: depth of the deepest leaf.
+  int depth_of(int id) {
+    int best = 0;
+    int c = first_child[id];
+    while (c >= 0) {
+      int d = depth_of(c);
+      if (d > best) best = d;
+      c = next_sibling[c];
+    }
+    return best + 1;
+  }
+
+  // Serialization: append tags to an output stream (counted only).
+  int serialize(int id) {
+    out_count = out_count + 1;
+    int c = first_child[id];
+    while (c >= 0) {
+      serialize(c);
+      c = next_sibling[c];
+    }
+    out_count = out_count + 1;  // closing tag
+    return out_count;
+  }
+
+  // Namespace resolution: tags 0-11 map through a prefix table that is
+  // itself remapped per document, like xmlns scoping.
+  global int ns_table[12];
+
+  int resolve_namespaces(int id, int depth) {
+    int resolved = ns_table[tag[id]];
+    tag[id] = resolved % 12;
+    int count = 1;
+    int c = first_child[id];
+    while (c >= 0) {
+      count = count + resolve_namespaces(c, depth + 1);
+      c = next_sibling[c];
+    }
+    return count;
+  }
+
+  // Build an id index: bucket nodes by attribute hash so getElementById
+  // style lookups are O(1); collisions chain through node order.
+  global int id_buckets[64];
+  global int id_chain[8192];
+
+  int index_ids(int root) {
+    for (int b = 0; b < 64; b = b + 1) id_buckets[b] = 0 - 1;
+    int filled = 0;
+    for (int id = 0; id < node_count; id = id + 1) {
+      int h = (attr[id] * 31 + tag[id]) & 63;
+      id_chain[id] = id_buckets[h];
+      id_buckets[h] = id;
+      filled = filled + 1;
+    }
+    return filled;
+  }
+
+  int lookup_id(int a, int t) {
+    int h = (a * 31 + t) & 63;
+    int id = id_buckets[h];
+    while (id >= 0) {
+      if (attr[id] == a && tag[id] == t) return id;
+      id = id_chain[id];
+    }
+    return 0 - 1;
+  }
+
+  // Validation: a document is well-formed for our "schema" when no tag-7
+  // node is nested inside another tag-7 node (like nested <a> in HTML).
+  int validate(int id, int inside7) {
+    if (tag[id] == 7 && inside7) return 1;
+    int violations = 0;
+    int now7 = inside7;
+    if (tag[id] == 7) now7 = 1;
+    int c = first_child[id];
+    while (c >= 0) {
+      violations = violations + validate(c, now7);
+      c = next_sibling[c];
+    }
+    return violations;
+  }
+
+  // Entity escaping cost estimate: counts characters a serializer would
+  // need to escape, modelled as attribute digits in a given class.
+  int escape_cost(int id) {
+    int cost = 0;
+    int a = attr[id];
+    while (a > 0) {
+      int digit = a % 10;
+      if (digit == 3 || digit == 8) cost = cost + 5;
+      else cost = cost + 1;
+      a = a / 10;
+    }
+    int c = first_child[id];
+    while (c >= 0) {
+      cost = cost + escape_cost(c);
+      c = next_sibling[c];
+    }
+    return cost;
+  }
+
+  int transform(int root) {
+    int total = 0;
+    for (int i = 0; i < 12; i = i + 1) ns_table[i] = (i * 7 + 3) % 12;
+    total = total + resolve_namespaces(root, 0);
+    for (int want = 0; want < 12; want = want + 3)
+      total = total + match_pattern(root, want, (want + 5) % 12, 0);
+    total = total + rewrite(root);
+    index_ids(root);
+    // a handful of keyed lookups, some missing (cold path)
+    for (int q = 0; q < 20; q = q + 1) {
+      int hit = lookup_id((q * 1237) & 65535, q % 12);
+      if (hit >= 0) total = total + tag[hit];
+    }
+    total = total + validate(root, 0) * 10000;
+    total = total + escape_cost(root);
+    total = total + depth_of(root) * 1000;
+    serialize(root);
+    return total;
+  }
+
+  int main(int seed, int documents) {
+    rnd_init(seed);
+    int checksum = 0;
+    out_count = 0;
+    for (int doc = 0; doc < documents; doc = doc + 1) {
+      node_count = 0;
+      int root = build(6, 4);
+      checksum = checksum ^ transform(root);
+    }
+    checksum = checksum + out_count;
+    print_int(checksum);
+    return checksum & 127;
+  }
+|};
+  }

@@ -1,0 +1,17 @@
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  train_args : int32 list;
+  ref_args : int32 list;
+}
+
+let prng_helpers =
+  {|
+  global int rnd_state;
+  int rnd_init(int seed) { rnd_state = seed * 0x9E3779B1 + 1; return 0; }
+  int rnd() {
+    rnd_state = rnd_state * 1103515245 + 12345;
+    return (rnd_state >> 16) & 32767;
+  }
+|}

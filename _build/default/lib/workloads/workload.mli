@@ -1,0 +1,21 @@
+(** The benchmark-program abstraction.
+
+    Each workload stands in for one SPEC CPU 2006 program in the paper's
+    evaluation: MiniC source with the hot-loop/cold-path structure of its
+    namesake's kernel, a small [train] input (profiling, §5.1) and a
+    larger [ref] input (measurement).  Every program prints a checksum, so
+    correctness of each diversified binary is checked for free during
+    benchmarking. *)
+
+type t = {
+  name : string;  (** SPEC-style name, e.g. "473.astar" *)
+  description : string;  (** what the kernel does *)
+  source : string;  (** MiniC source text *)
+  train_args : int32 list;  (** profiling input *)
+  ref_args : int32 list;  (** measurement input *)
+}
+
+val prng_helpers : string
+(** MiniC snippet providing the deterministic LCG every workload uses to
+    synthesize its input data from a seed argument ([rnd_init], [rnd]):
+    SPEC programs read input files; ours generate equivalent data. *)

@@ -1,0 +1,37 @@
+let all =
+  [
+    W_perlbench.workload;
+    W_bzip2.workload;
+    W_gcc.workload;
+    W_mcf.workload;
+    W_milc.workload;
+    W_namd.workload;
+    W_gobmk.workload;
+    W_dealii.workload;
+    W_soplex.workload;
+    W_povray.workload;
+    W_hmmer.workload;
+    W_sjeng.workload;
+    W_libquantum.workload;
+    W_h264ref.workload;
+    W_lbm.workload;
+    W_omnetpp.workload;
+    W_astar.workload;
+    W_sphinx3.workload;
+    W_xalanc.workload;
+  ]
+
+let names = List.map (fun (w : Workload.t) -> w.name) all
+
+let find name =
+  let suffix_matches (w : Workload.t) =
+    w.name = name
+    ||
+    match String.index_opt w.name '.' with
+    | Some i -> String.sub w.name (i + 1) (String.length w.name - i - 1) = name
+    | None -> false
+  in
+  List.find suffix_matches all
+
+let phpvm = Phpvm.workload
+let php_profiles = Phpvm.profile_programs

@@ -1,0 +1,18 @@
+(** The benchmark suite: 19 SPEC CPU 2006 analogues (the programs of the
+    paper's Figure 4 and Tables 2-3) plus the PHP-analogue interpreter of
+    the §5.2 attack study. *)
+
+val all : Workload.t list
+(** The 19 SPEC analogues, in the paper's Figure-4 order. *)
+
+val names : string list
+val find : string -> Workload.t
+(** Lookup by name ("473.astar") or by suffix ("astar").  Raises
+    [Not_found]. *)
+
+val phpvm : Workload.t
+(** The interpreter of the attack case study. *)
+
+val php_profiles : Phpvm.profile_program list
+(** The seven Benchmarks-Game-analogue profiling workloads for the
+    interpreter. *)

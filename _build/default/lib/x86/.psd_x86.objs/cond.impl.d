@@ -1,0 +1,1 @@
+lib/x86/cond.pp.ml: Ppx_deriving_runtime Printf

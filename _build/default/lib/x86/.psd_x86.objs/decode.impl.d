@@ -1,0 +1,1 @@
+lib/x86/decode.pp.ml: Char Cond Format Insn Int32 List Option Printf Reg String

@@ -1,0 +1,1 @@
+lib/x86/encode.pp.ml: Buffer Char Cond Insn Int32 List Reg

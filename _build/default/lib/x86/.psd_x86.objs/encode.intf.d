@@ -1,0 +1,1 @@
+lib/x86/encode.pp.mli: Buffer Insn

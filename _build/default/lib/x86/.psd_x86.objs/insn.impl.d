@@ -1,0 +1,1 @@
+lib/x86/insn.pp.ml: Cond Format Ppx_deriving_runtime Reg

@@ -1,0 +1,1 @@
+lib/x86/insn.pp.mli: Cond Format Ppx_deriving_runtime Reg

@@ -1,0 +1,1 @@
+lib/x86/nops.pp.ml: Array Char Encode Format Insn List Option Printf Reg String

@@ -1,0 +1,1 @@
+lib/x86/nops.pp.mli: Format Insn

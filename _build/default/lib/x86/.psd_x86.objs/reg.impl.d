@@ -1,0 +1,1 @@
+lib/x86/reg.pp.ml: Ppx_deriving_runtime Printf

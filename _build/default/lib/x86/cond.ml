@@ -1,0 +1,59 @@
+type t = O | NO | B | AE | E | NE | BE | A | S | NS | P | NP | L | GE | LE | G
+[@@deriving eq, ord, show]
+
+let encode = function
+  | O -> 0
+  | NO -> 1
+  | B -> 2
+  | AE -> 3
+  | E -> 4
+  | NE -> 5
+  | BE -> 6
+  | A -> 7
+  | S -> 8
+  | NS -> 9
+  | P -> 10
+  | NP -> 11
+  | L -> 12
+  | GE -> 13
+  | LE -> 14
+  | G -> 15
+
+let decode = function
+  | 0 -> O
+  | 1 -> NO
+  | 2 -> B
+  | 3 -> AE
+  | 4 -> E
+  | 5 -> NE
+  | 6 -> BE
+  | 7 -> A
+  | 8 -> S
+  | 9 -> NS
+  | 10 -> P
+  | 11 -> NP
+  | 12 -> L
+  | 13 -> GE
+  | 14 -> LE
+  | 15 -> G
+  | n -> invalid_arg (Printf.sprintf "Cond.decode: %d" n)
+
+let negate c = decode (encode c lxor 1)
+
+let name = function
+  | O -> "o"
+  | NO -> "no"
+  | B -> "b"
+  | AE -> "ae"
+  | E -> "e"
+  | NE -> "ne"
+  | BE -> "be"
+  | A -> "a"
+  | S -> "s"
+  | NS -> "ns"
+  | P -> "p"
+  | NP -> "np"
+  | L -> "l"
+  | GE -> "ge"
+  | LE -> "le"
+  | G -> "g"

@@ -1,0 +1,36 @@
+(** x86 condition codes, as used by [Jcc]/[SETcc].
+
+    The constructor order matches the hardware encoding (the low nibble of
+    the [0F 8x]/[0F 9x] opcodes and of the short [7x] jumps). *)
+
+type t =
+  | O  (** overflow *)
+  | NO  (** not overflow *)
+  | B  (** below (unsigned <) *)
+  | AE  (** above or equal (unsigned >=) *)
+  | E  (** equal *)
+  | NE  (** not equal *)
+  | BE  (** below or equal (unsigned <=) *)
+  | A  (** above (unsigned >) *)
+  | S  (** sign *)
+  | NS  (** not sign *)
+  | P  (** parity *)
+  | NP  (** not parity *)
+  | L  (** less (signed <) *)
+  | GE  (** greater or equal (signed >=) *)
+  | LE  (** less or equal (signed <=) *)
+  | G  (** greater (signed >) *)
+[@@deriving eq, ord, show]
+
+val encode : t -> int
+(** 4-bit hardware encoding. *)
+
+val decode : int -> t
+(** Inverse of {!encode}; raises [Invalid_argument] outside 0-15. *)
+
+val negate : t -> t
+(** Logical negation ([E] <-> [NE], etc.) — flips the low encoding bit,
+    exactly as the hardware does. *)
+
+val name : t -> string
+(** Mnemonic suffix, e.g. ["e"], ["ne"], ["le"]. *)

@@ -1,0 +1,260 @@
+open Insn
+
+(* A tiny cursor over the input; decoding failures are expressed with
+   [option] end to end, so scanning arbitrary bytes never raises. *)
+type cursor = { bytes : string; mutable pos : int }
+
+let ( let* ) = Option.bind
+
+let u8 c =
+  if c.pos >= String.length c.bytes then None
+  else begin
+    let b = Char.code c.bytes.[c.pos] in
+    c.pos <- c.pos + 1;
+    Some b
+  end
+
+let i8 c =
+  let* b = u8 c in
+  Some (if b >= 128 then b - 256 else b)
+
+let u16 c =
+  let* lo = u8 c in
+  let* hi = u8 c in
+  Some ((hi lsl 8) lor lo)
+
+let i32 c =
+  let* b0 = u8 c in
+  let* b1 = u8 c in
+  let* b2 = u8 c in
+  let* b3 = u8 c in
+  let open Int32 in
+  Some
+    (logor
+       (of_int (b0 lor (b1 lsl 8) lor (b2 lsl 16)))
+       (shift_left (of_int b3) 24))
+
+let scale_of_bits = function
+  | 0 -> S1
+  | 1 -> S2
+  | 2 -> S4
+  | _ -> S8
+
+(* Decode a ModRM byte (and any SIB/displacement).  Returns the reg/digit
+   field and the r/m operand. *)
+let modrm c =
+  let* b = u8 c in
+  let md = b lsr 6 and reg = (b lsr 3) land 7 and rm = b land 7 in
+  if md = 0b11 then Some (reg, Reg (Reg.decode rm))
+  else
+    let* base, index =
+      if rm = 0b100 then
+        (* SIB byte follows. *)
+        let* s = u8 c in
+        let sc = s lsr 6 and idx = (s lsr 3) land 7 and bse = s land 7 in
+        let index =
+          if idx = 0b100 then None else Some (Reg.decode idx, scale_of_bits sc)
+        in
+        if bse = 0b101 && md = 0b00 then Some (None, index)
+        else Some (Some (Reg.decode bse), index)
+      else if md = 0b00 && rm = 0b101 then Some (None, None)
+      else Some (Some (Reg.decode rm), None)
+    in
+    let* disp =
+      match md with
+      | 0b01 ->
+          let* d = i8 c in
+          Some (Int32.of_int d)
+      | 0b10 -> i32 c
+      | _ ->
+          (* mod=00: no displacement unless the operand is the
+             absolute/base-less form, which carries disp32. *)
+          if base = None then i32 c else Some 0l
+    in
+    Some (reg, Mem { base; index; disp })
+
+(* Opcodes 01..3B: the ALU matrix.  Row = operation, column 1 = rm,r and
+   column 3 = r,rm. *)
+let alu_of_row = function
+  | 0 -> Some Add
+  | 1 -> Some Or
+  | 2 -> Some Adc
+  | 3 -> Some Sbb
+  | 4 -> Some And
+  | 5 -> Some Sub
+  | 6 -> Some Xor
+  | 7 -> Some Cmp
+  | _ -> None
+
+let alu_of_digit = alu_of_row
+
+let shift_of_digit = function
+  | 4 -> Some Shl
+  | 5 -> Some Shr
+  | 7 -> Some Sar
+  | _ -> None
+
+let decode_0f c =
+  let* op2 = u8 c in
+  if op2 >= 0x80 && op2 <= 0x8F then
+    let* d = i32 c in
+    Some (Jcc (Cond.decode (op2 - 0x80), d))
+  else if op2 >= 0x90 && op2 <= 0x9F then
+    let* b = u8 c in
+    if b lsr 6 <> 0b11 then None
+    else
+      let* r8 = Reg.decode8 (b land 7) in
+      Some (Setcc (Cond.decode (op2 - 0x90), r8))
+  else if op2 = 0xAF then
+    let* reg, rm = modrm c in
+    Some (Imul_r_rm (Reg.decode reg, rm))
+  else if op2 = 0xB6 then
+    let* b = u8 c in
+    if b lsr 6 <> 0b11 then None
+    else
+      let* r8 = Reg.decode8 (b land 7) in
+      Some (Movzx_r_r8 (Reg.decode ((b lsr 3) land 7), r8))
+  else None
+
+let decode_one c =
+  let* op = u8 c in
+  match op with
+  | 0x0F -> decode_0f c
+  | _ when op land 0xC7 = 0x01 && op <= 0x39 ->
+      (* 01/09/11/19/21/29/31/39: ALU r/m, r *)
+      let* alu = alu_of_row (op lsr 3) in
+      let* reg, rm = modrm c in
+      Some (Alu_rm_r (alu, rm, Reg.decode reg))
+  | _ when op land 0xC7 = 0x03 && op <= 0x3B ->
+      let* alu = alu_of_row (op lsr 3) in
+      let* reg, rm = modrm c in
+      Some (Alu_r_rm (alu, Reg.decode reg, rm))
+  | _ when op >= 0x40 && op <= 0x47 -> Some (Inc_r (Reg.decode (op - 0x40)))
+  | _ when op >= 0x48 && op <= 0x4F -> Some (Dec_r (Reg.decode (op - 0x48)))
+  | _ when op >= 0x50 && op <= 0x57 -> Some (Push_r (Reg.decode (op - 0x50)))
+  | _ when op >= 0x58 && op <= 0x5F -> Some (Pop_r (Reg.decode (op - 0x58)))
+  | 0x68 ->
+      let* imm = i32 c in
+      Some (Push_imm imm)
+  | _ when op >= 0x70 && op <= 0x7F ->
+      let* d = i8 c in
+      Some (Jcc8 (Cond.decode (op - 0x70), d))
+  | 0x81 ->
+      let* digit, rm = modrm c in
+      let* alu = alu_of_digit digit in
+      let* imm = i32 c in
+      Some (Alu_rm_imm (alu, rm, imm))
+  | 0x83 ->
+      let* digit, rm = modrm c in
+      let* alu = alu_of_digit digit in
+      let* imm = i8 c in
+      Some (Alu_rm_imm (alu, rm, Int32.of_int imm))
+  | 0x85 ->
+      let* reg, rm = modrm c in
+      Some (Test_rm_r (rm, Reg.decode reg))
+  | 0x87 ->
+      let* reg, rm = modrm c in
+      Some (Xchg_rm_r (rm, Reg.decode reg))
+  | 0x89 ->
+      let* reg, rm = modrm c in
+      Some (Mov_rm_r (rm, Reg.decode reg))
+  | 0x8B ->
+      let* reg, rm = modrm c in
+      Some (Mov_r_rm (Reg.decode reg, rm))
+  | 0x8D -> (
+      let* reg, rm = modrm c in
+      (* LEA requires a memory operand. *)
+      match rm with
+      | Mem m -> Some (Lea (Reg.decode reg, m))
+      | Reg _ -> None)
+  | 0x90 -> Some Nop
+  | 0x99 -> Some Cdq
+  | _ when op >= 0xB8 && op <= 0xBF ->
+      let* imm = i32 c in
+      Some (Mov_r_imm (Reg.decode (op - 0xB8), imm))
+  | 0xC1 ->
+      let* digit, rm = modrm c in
+      let* sh = shift_of_digit digit in
+      let* n = u8 c in
+      if n > 31 then None else Some (Shift_imm (sh, rm, n))
+  | 0xC2 ->
+      let* n = u16 c in
+      Some (Ret_imm n)
+  | 0xC3 -> Some Ret
+  | 0xC7 ->
+      let* digit, rm = modrm c in
+      if digit <> 0 then None
+      else
+        let* imm = i32 c in
+        Some (Mov_rm_imm (rm, imm))
+  | 0xCD ->
+      let* n = u8 c in
+      Some (Int n)
+  | 0xD3 ->
+      let* digit, rm = modrm c in
+      let* sh = shift_of_digit digit in
+      Some (Shift_cl (sh, rm))
+  | 0xE8 ->
+      let* d = i32 c in
+      Some (Call_rel d)
+  | 0xE9 ->
+      let* d = i32 c in
+      Some (Jmp_rel d)
+  | 0xEB ->
+      let* d = i8 c in
+      Some (Jmp_rel8 d)
+  | 0xF4 -> Some Hlt
+  | 0xF7 -> (
+      let* digit, rm = modrm c in
+      match digit with
+      | 2 -> Some (Not rm)
+      | 3 -> Some (Neg rm)
+      | 4 -> Some (Mul rm)
+      | 7 -> Some (Idiv rm)
+      | _ -> None)
+  | 0xFF -> (
+      let* digit, rm = modrm c in
+      match digit with
+      | 2 -> Some (Call_rm rm)
+      | 4 -> Some (Jmp_rm rm)
+      | _ -> None)
+  | _ -> None
+
+let insn ?(pos = 0) bytes =
+  if pos < 0 || pos >= String.length bytes then None
+  else
+    let c = { bytes; pos } in
+    let* i = decode_one c in
+    Some (i, c.pos - pos)
+
+let sequence ?(pos = 0) ?max bytes =
+  let rec loop pos n acc =
+    let stop = match max with Some m -> n >= m | None -> false in
+    if stop || pos >= String.length bytes then List.rev acc
+    else
+      match insn ~pos bytes with
+      | None -> List.rev acc
+      | Some (i, len) -> loop (pos + len) (n + 1) ((i, pos) :: acc)
+  in
+  loop pos 0 []
+
+let all bytes = List.map (fun (i, off) -> (off, i)) (sequence bytes)
+
+let pp_listing ppf bytes =
+  let n = String.length bytes in
+  let rec loop pos =
+    if pos < n then
+      match insn ~pos bytes with
+      | Some (i, len) ->
+          let hex = String.sub bytes pos len in
+          let hex =
+            String.concat " "
+              (List.init len (fun k -> Printf.sprintf "%02x" (Char.code hex.[k])))
+          in
+          Format.fprintf ppf "%6x  %-24s %a@." pos hex Insn.pp i;
+          loop (pos + len)
+      | None ->
+          Format.fprintf ppf "%6x  %02x (bad)@." pos (Char.code bytes.[pos]);
+          loop (pos + 1)
+  in
+  loop 0

@@ -1,0 +1,34 @@
+(** IA-32 linear-sweep decoder.
+
+    The inverse of {!Encode}, plus graceful handling of arbitrary byte
+    streams: gadget scanners decode at {e every} offset of a [.text]
+    section, including mid-instruction offsets, so the decoder must never
+    raise — bytes that are not a valid instruction of our machine language
+    yield [None].
+
+    Non-canonical but architecturally valid encodings (e.g. a 32-bit
+    displacement that would have fitted in 8 bits) are accepted; this
+    mirrors a real disassembler and matters for gadget scanning, where the
+    interesting instruction streams start inside other instructions. *)
+
+val insn : ?pos:int -> string -> (Insn.t * int) option
+(** [insn ?pos bytes] decodes one instruction starting at byte offset
+    [pos] (default 0).  Returns the instruction and its encoded length, or
+    [None] if the bytes at [pos] are not a valid instruction (unknown
+    opcode, invalid ModRM digit, or truncated). *)
+
+val sequence : ?pos:int -> ?max:int -> string -> (Insn.t * int) list
+(** [sequence ?pos ?max bytes] linear-sweeps from [pos], returning
+    [(insn, offset)] pairs, stopping at the first undecodable byte, after
+    [max] instructions (default: unbounded), or at the end of the
+    buffer. *)
+
+val all : string -> (int * Insn.t) list
+(** Decode a whole section front to back (offset, instruction); stops at
+    the first invalid byte.  Intended for encoder-produced sections, where
+    it consumes every byte. *)
+
+val pp_listing : Format.formatter -> string -> unit
+(** Hex-dump disassembly listing of a section, one instruction per line
+    ("[offset]  [bytes]  [mnemonic]"); undecodable tail bytes are shown as
+    [(bad)]. *)

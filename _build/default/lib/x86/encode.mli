@@ -1,0 +1,23 @@
+(** IA-32 machine-code encoder.
+
+    Serializes {!Insn.t} values into their real hardware byte encodings
+    (ModRM/SIB/displacement/immediate).  The encoder is {e canonical}: it
+    always picks the shortest displacement/immediate width, so
+    [Decode.insn (encode i) = i] for every representable instruction
+    (verified by property test). *)
+
+val insn : Insn.t -> string
+(** [insn i] is the byte encoding of [i].  Raises [Invalid_argument] on
+    unencodable operands (LEA with a register operand is excluded by
+    construction; immediates out of range for [Ret_imm]/[Int]/shift
+    counts). *)
+
+val insn_into : Buffer.t -> Insn.t -> unit
+(** Append the encoding of one instruction to a buffer. *)
+
+val program : Insn.t list -> string
+(** Concatenated encodings, in order. *)
+
+val length : Insn.t -> int
+(** [length i = String.length (insn i)] without building the string twice;
+    used by layout to compute branch displacements. *)

@@ -1,0 +1,46 @@
+type candidate = {
+  insn : Insn.t;
+  encoding : string;
+  second_byte_decoding : string option;
+  locks_bus : bool;
+}
+
+let mk ?second ?(locks_bus = false) insn =
+  { insn; encoding = Encode.insn insn; second_byte_decoding = second; locks_bus }
+
+let all =
+  let open Insn in
+  let open Reg in
+  [
+    mk Nop;
+    mk (Mov_rm_r (Reg ESP, ESP)) ~second:"IN";
+    mk (Mov_rm_r (Reg EBP, EBP)) ~second:"IN";
+    mk (Lea (ESI, mem_base ESI)) ~second:"SS:";
+    mk (Lea (EDI, mem_base EDI)) ~second:"AAS";
+    mk (Xchg_rm_r (Reg ESP, ESP)) ~second:"IN" ~locks_bus:true;
+    mk (Xchg_rm_r (Reg EBP, EBP)) ~second:"IN" ~locks_bus:true;
+  ]
+
+let default =
+  Array.of_list
+    (List.filter_map
+       (fun c -> if c.locks_bus then None else Some c.insn)
+       all)
+
+let with_xchg = Array.of_list (List.map (fun c -> c.insn) all)
+
+let is_candidate i = List.exists (fun c -> Insn.equal c.insn i) all
+let strip insns = List.filter (fun i -> not (is_candidate i)) insns
+
+let pp_table ppf () =
+  Format.fprintf ppf "%-18s %-8s %s@." "Instruction" "Encoding" "Second Byte";
+  List.iter
+    (fun c ->
+      let hex =
+        String.concat " "
+          (List.init (String.length c.encoding) (fun i ->
+               Printf.sprintf "%02X" (Char.code c.encoding.[i])))
+      in
+      Format.fprintf ppf "%-18s %-8s %s@." (Insn.to_string c.insn) hex
+        (Option.value c.second_byte_decoding ~default:"-"))
+    all

@@ -1,0 +1,43 @@
+(** NOP candidate instructions — Table 1 of the paper.
+
+    Seven single- and two-byte instructions that preserve the entire
+    processor state (registers, memory, {e and} flags).  The second byte
+    of each two-byte candidate was chosen so that, decoded on its own, it
+    is useless to an attacker (a privileged [IN], a segment prefix, or the
+    obsolete [AAS]).
+
+    The two [XCHG]-based candidates are architecturally perfect NOPs but
+    lock the memory bus on real implementations, so — exactly as in the
+    paper — they are excluded by default and can be enabled
+    explicitly. *)
+
+type candidate = {
+  insn : Insn.t;  (** the instruction itself *)
+  encoding : string;  (** its byte encoding *)
+  second_byte_decoding : string option;
+      (** what the second byte decodes to on its own, for the two-byte
+          candidates ([None] for single-byte [NOP]) — the "Second Byte
+          Decoding" column of Table 1 *)
+  locks_bus : bool;  (** true for the XCHG-based candidates *)
+}
+
+val all : candidate list
+(** All seven candidates, in Table 1 order. *)
+
+val default : Insn.t array
+(** The five candidates used by the insertion pass by default (no
+    XCHG). *)
+
+val with_xchg : Insn.t array
+(** All seven, for the compile-time option the paper mentions. *)
+
+val is_candidate : Insn.t -> bool
+(** Membership in the seven-candidate set; used by the Survivor
+    normalization step, which must strip {e potentially inserted} NOPs. *)
+
+val strip : Insn.t list -> Insn.t list
+(** Remove every candidate NOP from an instruction sequence (the Survivor
+    normalization of §5.2). *)
+
+val pp_table : Format.formatter -> unit -> unit
+(** Render Table 1. *)

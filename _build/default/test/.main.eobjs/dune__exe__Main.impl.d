@@ -1,0 +1,1 @@
+test/main.ml: Alcotest List Test_backend Test_core Test_front Test_gadget Test_link_sim Test_machine Test_opt Test_profile Test_rng Test_stats Test_workloads Test_x86

@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Array Driver Fun Int32 Interp Pipeline Printf QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Asm Config Driver Finder Float Heuristic Insn Int64 Link List Nop_insert Printf QCheck QCheck_alcotest Rng Sim String Survivor

@@ -1,0 +1,1 @@
+test/test_front.ml: Alcotest Hashtbl Int32 Int64 Interp Minic Option Printf String

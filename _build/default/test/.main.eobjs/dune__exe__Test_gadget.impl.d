@@ -1,0 +1,1 @@
+test/test_gadget.ml: Alcotest Attack Buffer Char Config Driver Encode Finder Insn Link List Population Printf Reg String Survivor

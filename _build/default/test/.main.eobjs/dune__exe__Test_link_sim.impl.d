@@ -1,0 +1,1 @@
+test/test_link_sim.ml: Alcotest Asm Cond Decode Driver Filename Fun Insn Int32 Int64 Libc Link List Reg Sim String Sys

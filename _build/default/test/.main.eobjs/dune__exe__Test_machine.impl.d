@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Asm Char Cond Emit Insn Ir Isel List Liveness Minic Mir Pipeline Printf Reg Regalloc String

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Builder Constfold Copyprop Cse Dce Ir List Minic Pipeline Simplify_cfg String Verify

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Driver Hashtbl Int64 Interp Ir List Option Profile Spanning

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Config Driver Interp List Phpvm Profile Sim String Workload Workloads

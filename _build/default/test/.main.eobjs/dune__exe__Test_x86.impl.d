@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Array Buffer Char Cond Decode Encode Gen Insn Int32 List Nops Printf QCheck QCheck_alcotest Reg String

@@ -1,0 +1,261 @@
+(* Differential testing of the machine backend: for each program, the CPU
+   simulator running the linked binary must produce exactly the output and
+   exit status of the reference IR interpreter. *)
+
+let compile ?opt src = Driver.compile ?opt ~name:"test" src
+
+let check_same ?(args = []) msg src =
+  let c = compile src in
+  let ir = Driver.run_ir c ~args in
+  let image = Driver.link_baseline c in
+  let native = Driver.run_image image ~args in
+  Alcotest.(check string) (msg ^ ": output") ir.Interp.output native.Sim.output;
+  Alcotest.(check int32) (msg ^ ": status") ir.Interp.ret native.Sim.status
+
+let test_basic () =
+  check_same "constant" "int main() { return 42; }";
+  check_same "arith"
+    "int main() { return (3 + 4) * 5 - 6 / 2 + (7 % 3) << 1; }";
+  check_same "negative" "int main() { return -7; }";
+  check_same "bitops" "int main() { return (12 & 10) | (5 ^ 3); }";
+  check_same "shifts" "int main() { int x = -64; return (x >> 3) + (1 << 10); }";
+  check_same "compare chain"
+    "int main() { return (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3) + (1 == 1) + (1 != 1); }"
+
+let test_control () =
+  check_same "if" "int main() { if (3 > 2) return 1; else return 2; }";
+  check_same "loop sum"
+    {|
+    int main() {
+      int sum = 0;
+      for (int i = 0; i < 100; i = i + 1) sum = sum + i;
+      return sum;
+    }
+    |};
+  check_same "while with break/continue"
+    {|
+    int main() {
+      int i = 0; int acc = 0;
+      while (1) {
+        i = i + 1;
+        if (i > 20) break;
+        if (i % 3 == 0) continue;
+        acc = acc + i;
+      }
+      return acc;
+    }
+    |};
+  check_same "short circuit"
+    {|
+    global int hits;
+    int bump() { hits = hits + 1; return 1; }
+    int main() {
+      int a = 0 && bump();
+      int b = 1 || bump();
+      int c = 1 && bump();
+      return hits * 10 + a + b + c;
+    }
+    |}
+
+let test_functions () =
+  check_same "fib"
+    {|
+    int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+    int main() { return fib(15); }
+    |};
+  check_same "many args"
+    {|
+    int f(int a, int b, int c, int d, int e) { return a - b + c - d + e; }
+    int main() { return f(1, 2, 3, 4, 5); }
+    |};
+  check_same "mutual recursion"
+    {|
+    int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+    int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+    int main() { return even(9) * 10 + odd(9); }
+    |}
+
+let test_memory () =
+  check_same "local array"
+    {|
+    int main() {
+      int a[10];
+      for (int i = 0; i < 10; i = i + 1) a[i] = i * i;
+      int s = 0;
+      for (int i = 0; i < 10; i = i + 1) s = s + a[i];
+      return s;
+    }
+    |};
+  check_same "global array and scalar"
+    {|
+    global int total;
+    global int data[16] = {5, 3, 8, 1};
+    int main() {
+      data[4] = 10;
+      for (int i = 0; i < 16; i = i + 1) total = total + data[i];
+      return total;
+    }
+    |};
+  check_same "array via helper"
+    {|
+    global int buf[32];
+    int fill(int n, int v) {
+      for (int i = 0; i < n; i = i + 1) buf[i] = v + i;
+      return n;
+    }
+    int main() { fill(8, 100); return buf[0] + buf[7]; }
+    |}
+
+let test_output () =
+  check_same "print_int values"
+    {|
+    int main() {
+      print_int(0);
+      print_int(1);
+      print_int(-1);
+      print_int(42);
+      print_int(-2147483647 - 1);
+      print_int(2147483647);
+      return 0;
+    }
+    |};
+  check_same "put_char"
+    {|
+    int main() {
+      put_char('O'); put_char('K'); put_char('\n');
+      return 0;
+    }
+    |};
+  check_same "exit status" "int main() { exit(7); return 1; }"
+
+let test_args () =
+  check_same "args" ~args:[ 6l; 7l ] "int main(int a, int b) { return a * b; }";
+  check_same "arg order" ~args:[ 1l; 2l; 3l ]
+    "int main(int a, int b, int c) { return a * 100 + b * 10 + c; }"
+
+let test_division_behaviour () =
+  check_same "division values"
+    {|
+    int main() {
+      print_int(10 / 3); print_int(-10 / 3); print_int(10 / -3);
+      print_int(10 % 3); print_int(-10 % 3); print_int(10 % -3);
+      return 0;
+    }
+    |}
+
+let test_o0_matches_o2 () =
+  let src =
+    {|
+    global int g[8];
+    int helper(int x) { return x * 3 + g[x & 7]; }
+    int main() {
+      int acc = 0;
+      for (int i = 0; i < 20; i = i + 1) { g[i & 7] = i; acc = acc + helper(i); }
+      return acc;
+    }
+    |}
+  in
+  let r0 = Driver.run_ir (compile ~opt:Pipeline.O0 src) ~args:[] in
+  let r2 = Driver.run_ir (compile ~opt:Pipeline.O2 src) ~args:[] in
+  Alcotest.(check int32) "same result at O0 and O2" r0.Interp.ret r2.Interp.ret;
+  let n0 = Driver.run_image (Driver.link_baseline (compile ~opt:Pipeline.O0 src)) ~args:[] in
+  let n2 = Driver.run_image (Driver.link_baseline (compile ~opt:Pipeline.O2 src)) ~args:[] in
+  Alcotest.(check int32) "same native result at O0 and O2" n0.Sim.status n2.Sim.status;
+  Alcotest.(check int32) "IR and native agree" r2.Interp.ret n2.Sim.status
+
+let test_spills () =
+  (* More live values than allocatable registers: forces spilling. *)
+  check_same "register pressure"
+    {|
+    int main() {
+      int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+      int f = 6; int g = 7; int h = 8; int i = 9; int j = 10;
+      int k = a + b; int l = c + d; int m = e + f; int n = g + h;
+      int o = i + j;
+      return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6 + g * 7 + h * 8
+           + i * 9 + j * 10 + k + l + m + n + o;
+    }
+    |}
+
+let test_native_faults () =
+  let run src =
+    let c = compile src in
+    Driver.run_image (Driver.link_baseline c) ~args:[]
+  in
+  (match run "int main() { int z = 0; return 1 / z; }" with
+  | exception Sim.Fault _ -> ()
+  | _ -> Alcotest.fail "expected division fault");
+  match run "int main() { int a[2]; a[-100000000] = 1; return 0; }" with
+  | exception Sim.Fault _ -> ()
+  | _ -> Alcotest.fail "expected out-of-bounds fault"
+
+(* ------------------------------------------------------------------ *)
+(* Random differential testing: generated straight-line arithmetic over a
+   handful of variables, compared between interpreter and simulator. *)
+
+let gen_program =
+  let open QCheck.Gen in
+  let var_names = [| "a"; "b"; "c"; "d" |] in
+  let rec gen_expr depth =
+    if depth = 0 then
+      oneof
+        [
+          map (fun v -> string_of_int v) (int_range (-100) 100);
+          map (fun i -> var_names.(i)) (int_bound 3);
+        ]
+    else
+      let sub = gen_expr (depth - 1) in
+      oneof
+        [
+          map (fun v -> string_of_int v) (int_range (-100) 100);
+          map (fun i -> var_names.(i)) (int_bound 3);
+          (let* op = oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ] in
+           let* l = sub in
+           let* r = sub in
+           return (Printf.sprintf "(%s %s %s)" l op r));
+          (let* op = oneofl [ "<"; "<="; ">"; ">="; "=="; "!=" ] in
+           let* l = sub in
+           let* r = sub in
+           return (Printf.sprintf "(%s %s %s)" l op r));
+        ]
+  in
+  let* stmts =
+    list_size (int_range 1 6)
+      (let* v = map (fun i -> var_names.(i)) (int_bound 3) in
+       let* e = gen_expr 3 in
+       return (Printf.sprintf "%s = %s;" v e))
+  in
+  let* ret = gen_expr 3 in
+  return
+    (Printf.sprintf
+       "int main() { int a = 1; int b = 2; int c = 3; int d = 4; %s return %s; }"
+       (String.concat " " stmts) ret)
+
+let prop_differential =
+  QCheck.Test.make ~name:"simulator matches interpreter on random programs"
+    ~count:150
+    (QCheck.make ~print:Fun.id gen_program)
+    (fun src ->
+      let c = compile src in
+      let ir = Driver.run_ir c ~args:[] in
+      let native = Driver.run_image (Driver.link_baseline c) ~args:[] in
+      Int32.equal ir.Interp.ret native.Sim.status)
+
+let suite =
+  [
+    ( "backend.differential",
+      [
+        Alcotest.test_case "basic expressions" `Quick test_basic;
+        Alcotest.test_case "control flow" `Quick test_control;
+        Alcotest.test_case "functions" `Quick test_functions;
+        Alcotest.test_case "memory" `Quick test_memory;
+        Alcotest.test_case "output builtins" `Quick test_output;
+        Alcotest.test_case "program arguments" `Quick test_args;
+        Alcotest.test_case "signed division" `Quick test_division_behaviour;
+        Alcotest.test_case "O0 vs O2" `Quick test_o0_matches_o2;
+        Alcotest.test_case "register pressure" `Quick test_spills;
+        Alcotest.test_case "native faults" `Quick test_native_faults;
+      ] );
+    ( "backend.random",
+      [ QCheck_alcotest.to_alcotest prop_differential ] );
+  ]
