@@ -1,5 +1,7 @@
 (* Shared plumbing for the evaluation harness: compile-and-profile each
-   workload once, cache the result, and provide the paper's parameters. *)
+   workload through the staged driver's artifact cache (one compile, one
+   training run and one baseline link per workload, shared across every
+   experiment), and provide the paper's parameters. *)
 
 type prepared = {
   workload : Workload.t;
@@ -9,20 +11,15 @@ type prepared = {
 }
 
 let prepare (w : Workload.t) =
-  let compiled = Driver.compile ~name:w.name w.source in
-  let profile = Driver.train compiled ~args:w.train_args in
-  let baseline = Driver.link_baseline compiled in
-  { workload = w; compiled; profile; baseline }
+  let compiled = Driver.compile_cached ~name:w.name w.source in
+  {
+    workload = w;
+    compiled;
+    profile = Driver.train_cached compiled ~args:w.train_args;
+    baseline = Driver.link_baseline_cached compiled;
+  }
 
-let cache : (string, prepared) Hashtbl.t = Hashtbl.create 32
-
-let prepared w =
-  match Hashtbl.find_opt cache w.Workload.name with
-  | Some p -> p
-  | None ->
-      let p = prepare w in
-      Hashtbl.replace cache w.Workload.name p;
-      p
+let prepared = prepare
 
 let configs = Config.paper_configs
 let config_names = List.map fst configs

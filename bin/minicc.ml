@@ -3,6 +3,13 @@
    The full paper workflow is expressible from the shell:
 
      minicc compile prog.mc -o prog.bin           # undiversified build
+     minicc compile prog.mc -O0                   # pick the opt level
+     minicc compile prog.mc --passes simplify-cfg,constfold,copyprop,dce \
+            --verify-each                         # custom pipeline ("O2
+                                                  # minus CSE"), IR checked
+                                                  # after every pass
+     minicc compile prog.mc --pass-stats          # per-pass time/size table
+     minicc compile prog.mc --pass-stats=json     # same, machine-readable
      minicc run prog.bin --args 5,10              # simulate
      minicc profile prog.mc --args 5,10 -o prog.prof
      minicc diversify prog.mc --profile prog.prof --config p0-30 \
@@ -48,13 +55,13 @@ let parse_config name =
                 uniform:P or range:LO:HI)"
                name))
 
-let compile_source ~opt path =
-  let level =
-    match Pipeline.level_of_string opt with
-    | Some l -> l
-    | None -> failwith ("unknown optimization level " ^ opt)
-  in
-  Driver.compile ~opt:level ~name:(Filename.basename path) (read_file path)
+(* How to build: an optimization pipeline plus verification policy,
+   assembled from --opt-level / -O0/-O1/-O2 / --passes / --verify-each. *)
+type build = { descr : Pipeline.descr; verify_each : bool }
+
+let compile_source ~build path =
+  Driver.compile ~passes:build.descr ~verify_each:build.verify_each
+    ~name:(Filename.basename path) (read_file path)
 
 (* ---- common arguments ---- *)
 
@@ -69,25 +76,99 @@ let args_arg =
     value & opt string ""
     & info [ "args" ] ~docv:"INTS" ~doc:"Comma-separated program arguments.")
 
-let opt_arg =
+let build_term =
+  let level_conv =
+    let parse s =
+      match Pipeline.level_of_string s with
+      | Some l -> Ok l
+      | None ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "unknown optimization level %S (expected O0, O1 or O2)" s))
+    in
+    let print ppf l = Format.pp_print_string ppf (Pipeline.level_name l) in
+    Arg.conv (parse, print)
+  in
+  let descr_conv =
+    let parse s =
+      match Pipeline.descr_of_string s with
+      | Ok d -> Ok d
+      | Error e -> Error (`Msg e)
+    in
+    let print ppf d = Format.pp_print_string ppf (Pipeline.descr_to_string d) in
+    Arg.conv (parse, print)
+  in
+  let opt_level_arg =
+    (* "O" first makes -O0 / -O1 / -O2 work as glued short options. *)
+    Arg.(
+      value
+      & opt (some level_conv) None
+      & info [ "O"; "opt-level"; "opt" ] ~docv:"LEVEL"
+          ~doc:"Optimization level ($(b,O0), $(b,O1), $(b,O2); default O2).")
+  in
+  let passes_arg =
+    Arg.(
+      value
+      & opt (some descr_conv) None
+      & info [ "passes" ] ~docv:"PASSES"
+          ~doc:
+            (Printf.sprintf
+               "Explicit IR pass pipeline, overriding the -O level: \
+                comma-separated pass names, optionally $(b,@N) to bound the \
+                fixpoint rounds (e.g. %S). Known passes: %s."
+               "constfold,dce@1"
+               (String.concat ", " Pipeline.pass_names)))
+  in
+  let verify_each_arg =
+    Arg.(
+      value & flag
+      & info [ "verify-each" ]
+          ~doc:"Re-verify the IR after every optimization pass run.")
+  in
+  let make opt_level passes verify_each =
+    let descr =
+      match passes with
+      | Some d -> d
+      | None ->
+          Pipeline.of_level (Option.value opt_level ~default:Pipeline.O2)
+    in
+    { descr; verify_each }
+  in
+  Term.(const make $ opt_level_arg $ passes_arg $ verify_each_arg)
+
+let pass_stats_arg =
   Arg.(
-    value & opt string "O2"
-    & info [ "opt" ] ~docv:"LEVEL" ~doc:"Optimization level (O0, O1, O2).")
+    value
+    & opt ~vopt:(Some `Table) (some (enum [ ("table", `Table); ("json", `Json) ])) None
+    & info [ "pass-stats" ] ~docv:"FORMAT"
+        ~doc:
+          "Print per-pass statistics (wall time, size deltas, fixpoint \
+           runs, emitted bytes) as a $(b,table) (default) or $(b,json).")
+
+let print_pass_stats fmt (c : Driver.compiled) =
+  match fmt with
+  | None -> ()
+  | Some `Table -> Format.printf "%a" Cctx.pp_table c.Driver.cctx
+  | Some `Json -> print_endline (Cctx.to_json c.Driver.cctx)
 
 (* ---- commands ---- *)
 
 let compile_cmd =
-  let run source output opt =
-    let c = compile_source ~opt source in
+  let run source output build stats =
+    let c = compile_source ~build source in
     let image = Driver.link_baseline c in
     Link.save image output;
     Format.printf "%s: %d bytes of .text, %d functions@." output
       (String.length image.Link.text)
-      (List.length image.Link.symbols)
+      (List.length image.Link.symbols);
+    print_pass_stats stats c
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile MiniC to an undiversified binary image.")
-    Term.(const run $ source_arg $ output_arg ~default:"a.bin" $ opt_arg)
+    Term.(
+      const run $ source_arg $ output_arg ~default:"a.bin" $ build_term
+      $ pass_stats_arg)
 
 let run_cmd =
   let run binary args =
@@ -102,8 +183,8 @@ let run_cmd =
     Term.(const run $ source_arg $ args_arg)
 
 let profile_cmd =
-  let run source output args opt =
-    let c = compile_source ~opt source in
+  let run source output args build =
+    let c = compile_source ~build source in
     let profile = Driver.train c ~args:(parse_args args) in
     let oc = open_out output in
     output_string oc (Profile.to_string profile);
@@ -116,7 +197,7 @@ let profile_cmd =
        ~doc:"Run the training input and write the execution profile.")
     Term.(
       const run $ source_arg $ output_arg ~default:"a.prof" $ args_arg
-      $ opt_arg)
+      $ build_term)
 
 let diversify_cmd =
   let profile_arg =
@@ -133,8 +214,8 @@ let diversify_cmd =
   let version_arg =
     Arg.(value & opt int 0 & info [ "n"; "variant" ] ~docv:"N" ~doc:"Version index (seed).")
   in
-  let run source output profile_path config version opt =
-    let c = compile_source ~opt source in
+  let run source output profile_path config version build stats =
+    let c = compile_source ~build source in
     let profile =
       match profile_path with
       | Some p -> Profile.of_string (read_file p)
@@ -147,17 +228,18 @@ let diversify_cmd =
           "warning: profile-guided config without --profile; everything is \
            cold@."
     | _ -> ());
-    let image, stats = Driver.diversify c ~config ~profile ~version in
+    let image, nstats = Driver.diversify c ~config ~profile ~version in
     Link.save image output;
     Format.printf "%s: inserted %d NOPs over %d instructions (%d bytes)@."
-      output stats.Nop_insert.nops_inserted stats.Nop_insert.insns_seen
-      stats.Nop_insert.bytes_added
+      output nstats.Nop_insert.nops_inserted nstats.Nop_insert.insns_seen
+      nstats.Nop_insert.bytes_added;
+    print_pass_stats stats c
   in
   Cmd.v
     (Cmd.info "diversify" ~doc:"Build one diversified version of a program.")
     Term.(
       const run $ source_arg $ output_arg ~default:"a.div.bin" $ profile_arg
-      $ config_arg $ version_arg $ opt_arg)
+      $ config_arg $ version_arg $ build_term $ pass_stats_arg)
 
 let gadgets_cmd =
   let run binary =

@@ -33,12 +33,17 @@ let paper_configs =
 
 let pct p = int_of_float ((p *. 100.0) +. 0.5)
 
+(* Every field that changes behaviour must appear in the name: the name
+   keys reports AND derives the RNG stream (Rng.of_labels in
+   Driver.diversify), so two distinct configs sharing a name would also
+   share their randomness. *)
 let name t =
-  let suffix = if t.bb_shift then "+shift" else "" in
   (match t.strategy with
   | Off -> "baseline"
   | Uniform p -> Printf.sprintf "p%d" (pct p)
-  | Profiled { pmin; pmax; shape; _ } ->
-      Printf.sprintf "p%d-%d%s" (pct pmin) (pct pmax)
-        (match shape with Heuristic.Linear -> "-lin" | Heuristic.Logarithmic -> ""))
-  ^ suffix
+  | Profiled { pmin; pmax; shape; scope } ->
+      Printf.sprintf "p%d-%d%s%s" (pct pmin) (pct pmax)
+        (match shape with Heuristic.Linear -> "-lin" | Heuristic.Logarithmic -> "")
+        (match scope with `Function -> "-fn" | `Program -> ""))
+  ^ (if t.use_xchg then "+xchg" else "")
+  ^ if t.bb_shift then "+shift" else ""

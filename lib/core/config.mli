@@ -39,4 +39,8 @@ val paper_configs : (string * t) list
     ["p50"], ["p30"], ["p25-50"], ["p10-50"], ["p0-30"]. *)
 
 val name : t -> string
-(** Short display name, e.g. "p10-50". *)
+(** Short display name, e.g. "p10-50".  Injective over behaviour-relevant
+    fields: per-function scope appends ["-fn"], the XCHG candidates
+    ["+xchg"], basic-block shifting ["+shift"], the linear heuristic
+    ["-lin"] — the name seeds the per-version RNG stream (see
+    {!Driver.diversify}), so distinct configs must never collide. *)

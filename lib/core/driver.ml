@@ -3,31 +3,145 @@ type compiled = {
   modul : Ir.modul;
   asm : Asm.func list;
   main_arity : int;
+  cctx : Cctx.t;
+  pipeline : Pipeline.descr;
+  cache_key : string;
 }
 
-let compile ?(opt = Pipeline.O2) ~name src =
-  let modul = Minic.compile_exn src in
-  let modul = Pipeline.optimize ~level:opt modul in
+let modul_size (m : Ir.modul) =
+  List.fold_left (fun n f -> n + Pipeline.ir_size f) 0 m.Ir.funcs
+
+let cache_key_of ~descr ~verify_each ~name src =
+  Printf.sprintf "%s|%s|%b|%s" name
+    (Pipeline.descr_to_string descr)
+    verify_each
+    (Digest.to_hex (Digest.string src))
+
+let compile ?(opt = Pipeline.O2) ?passes ?(verify_each = false) ~name src =
+  let descr =
+    match passes with Some d -> d | None -> Pipeline.of_level opt
+  in
+  let cctx = Cctx.create ~verify_each name in
+  let modul, dt = Cctx.timed (fun () -> Minic.compile_exn src) in
+  Cctx.record cctx
+    {
+      Cctx.stage = "front";
+      pass = "parse+lower";
+      func = "*";
+      time_s = dt;
+      items_before = 0;
+      items_after = modul_size modul;
+      bytes = 0;
+      changed = true;
+    };
+  let modul = Pipeline.run ~cctx ~verify_each descr modul in
+  let (), dt = Cctx.timed (fun () -> Verify.check_exn modul) in
+  Cctx.record cctx
+    {
+      Cctx.stage = "ir";
+      pass = "verify";
+      func = "*";
+      time_s = dt;
+      items_before = modul_size modul;
+      items_after = modul_size modul;
+      bytes = 0;
+      changed = false;
+    };
   let main =
     match Ir.find_func modul "main" with
     | f -> f
     | exception Not_found -> failwith ("Driver.compile: " ^ name ^ " has no main")
   in
-  let asm = List.map Emit.compile_func modul.funcs in
-  { name; modul; asm; main_arity = List.length main.params }
+  let asm = Stages.modul ~cctx modul in
+  {
+    name;
+    modul;
+    asm;
+    main_arity = List.length main.params;
+    cctx;
+    pipeline = descr;
+    cache_key = cache_key_of ~descr ~verify_each ~name src;
+  }
+
+(* ---- shared artifact caches (the evaluation harness recompiles each
+   workload across many experiments; everything keys off cache_key) ---- *)
+
+let compile_cache : (string, compiled) Hashtbl.t = Hashtbl.create 32
+let profile_cache : (string, Profile.t) Hashtbl.t = Hashtbl.create 32
+let baseline_cache : (string, Link.image) Hashtbl.t = Hashtbl.create 32
+
+let clear_caches () =
+  Hashtbl.reset compile_cache;
+  Hashtbl.reset profile_cache;
+  Hashtbl.reset baseline_cache
+
+let memo tbl key build =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = build () in
+      Hashtbl.replace tbl key v;
+      v
+
+let compile_cached ?(opt = Pipeline.O2) ?passes ?(verify_each = false) ~name
+    src =
+  let descr =
+    match passes with Some d -> d | None -> Pipeline.of_level opt
+  in
+  let key = cache_key_of ~descr ~verify_each ~name src in
+  memo compile_cache key (fun () ->
+      compile ~opt ?passes ~verify_each ~name src)
 
 let train c ~args = Profile.collect c.modul ~entry:"main" ~args
 let train_many c ~args_list = Profile.collect_many c.modul ~entry:"main" ~args_list
 
+let train_cached c ~args =
+  let key =
+    c.cache_key ^ "|" ^ String.concat "," (List.map Int32.to_string args)
+  in
+  memo profile_cache key (fun () -> train c ~args)
+
 let link_baseline c =
-  Link.link ~funcs:c.asm ~globals:c.modul.globals ~main_arity:c.main_arity
+  let image, dt =
+    Cctx.timed (fun () ->
+        Link.link ~funcs:c.asm ~globals:c.modul.globals
+          ~main_arity:c.main_arity)
+  in
+  Cctx.record c.cctx
+    {
+      Cctx.stage = "link";
+      pass = "layout";
+      func = "*";
+      time_s = dt;
+      items_before = List.length c.asm;
+      items_after = List.length image.Link.symbols;
+      bytes = String.length image.Link.text;
+      changed = true;
+    };
+  image
+
+let link_baseline_cached c =
+  memo baseline_cache c.cache_key (fun () -> link_baseline c)
 
 let diversify c ~config ~profile ~version =
   let rng =
     Rng.of_labels config.Config.seed
       [ c.name; Config.name config; string_of_int version ]
   in
-  let funcs, stats = Nop_insert.run_program ~config ~profile ~rng c.asm in
+  let (funcs, stats), dt =
+    Cctx.timed (fun () -> Nop_insert.run_program ~config ~profile ~rng c.asm)
+  in
+  Cctx.record c.cctx
+    {
+      Cctx.stage = "diversify";
+      pass = "nop-insert";
+      func = "*";
+      time_s = dt;
+      items_before = stats.Nop_insert.insns_seen;
+      items_after = stats.Nop_insert.insns_seen + stats.Nop_insert.nops_inserted;
+      bytes = stats.Nop_insert.bytes_added;
+      changed = stats.Nop_insert.nops_inserted > 0;
+    };
   ( Link.link ~funcs ~globals:c.modul.globals ~main_arity:c.main_arity,
     stats )
 

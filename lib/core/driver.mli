@@ -1,9 +1,18 @@
-(** The end-to-end diversifying compiler.
+(** The end-to-end diversifying compiler, as a staged driver.
 
     Ties the whole system together the way the paper's modified LLVM
-    does: MiniC source → IR → [-O2] optimization → instruction selection →
+    does: MiniC source → IR → optimization pipeline ([-O2] by default,
+    or any {!Pipeline.descr}) → instruction selection → liveness →
     register allocation → symbolic assembly → {b NOP insertion} → layout
     and linking against the fixed runtime.
+
+    Every stage runs through the {!Cctx.t} carried by the compiled
+    program: the frontend, each IR pass run (with its fixpoint
+    iterations), each machine-lowering stage, linking, and the
+    NOP-insertion pass itself — which registers under the ["diversify"]
+    stage, immediately before layout, exactly where the paper places it
+    (§4).  [compiled.cctx] is therefore a complete per-stage account of
+    where compile time and code size went.
 
     The profiling round-trip mirrors §3.1: compile once, run the program
     on a training input under the instrumented (reference) interpreter,
@@ -15,20 +24,52 @@ type compiled = {
   modul : Ir.modul;  (** the optimized IR *)
   asm : Asm.func list;  (** undiversified user functions *)
   main_arity : int;
+  cctx : Cctx.t;  (** per-stage instrumentation for this compilation *)
+  pipeline : Pipeline.descr;  (** the pass pipeline that was run *)
+  cache_key : string;  (** identity under {!compile_cached} *)
 }
 
-val compile : ?opt:Pipeline.level -> name:string -> string -> compiled
-(** Compile MiniC source (default [-O2]).  Raises [Failure] on frontend
-    errors or if [main] is missing. *)
+val compile :
+  ?opt:Pipeline.level ->
+  ?passes:Pipeline.descr ->
+  ?verify_each:bool ->
+  name:string ->
+  string ->
+  compiled
+(** Compile MiniC source.  [passes] selects an explicit pipeline and
+    overrides [opt] (default [-O2]).  With [verify_each], the IR is
+    re-verified after every pass run, not only after the pipeline.
+    Raises [Failure] on frontend errors, verification failures, or if
+    [main] is missing. *)
+
+val compile_cached :
+  ?opt:Pipeline.level ->
+  ?passes:Pipeline.descr ->
+  ?verify_each:bool ->
+  name:string ->
+  string ->
+  compiled
+(** Like {!compile}, memoized on (name, source digest, pipeline,
+    [verify_each]).  The evaluation harness compiles each workload many
+    times across experiments; this is its shared artifact cache. *)
 
 val train : compiled -> args:int32 list -> Profile.t
 (** One profiling run on a training input. *)
+
+val train_cached : compiled -> args:int32 list -> Profile.t
+(** Like {!train}, memoized on the compilation's cache key and [args]. *)
 
 val train_many : compiled -> args_list:int32 list list -> Profile.t
 (** Accumulated profile over several training inputs. *)
 
 val link_baseline : compiled -> Link.image
 (** The undiversified binary. *)
+
+val link_baseline_cached : compiled -> Link.image
+(** Like {!link_baseline}, memoized on the compilation's cache key. *)
+
+val clear_caches : unit -> unit
+(** Drop every memoized artifact (compilations, profiles, baselines). *)
 
 val diversify :
   compiled ->
@@ -39,7 +80,8 @@ val diversify :
 (** Build one diversified version.  The RNG stream is derived from
     (config seed, program name, config name, version), so the same triple
     always reproduces the same binary and distinct versions are
-    independent. *)
+    independent.  Records a ["diversify"/"nop-insert"] stat into the
+    compilation context. *)
 
 val population :
   compiled ->

@@ -12,8 +12,7 @@ type interval = { vreg : int; start : int; stop : int }
 
 (* Number every instruction (and terminator) in layout order and build one
    coarse interval per virtual register. *)
-let intervals (f : Mir.func) =
-  let live = Liveness.analyze f in
+let intervals ~live (f : Mir.func) =
   let first = Hashtbl.create 64 and last = Hashtbl.create 64 in
   let touch v pos =
     if not (Hashtbl.mem first v) then Hashtbl.replace first v pos;
@@ -50,8 +49,11 @@ let intervals (f : Mir.func) =
   in
   List.sort (fun a b -> compare (a.start, a.vreg) (b.start, b.vreg)) ivs
 
-let allocate (f : Mir.func) =
-  let ivs = intervals f in
+let allocate ?live (f : Mir.func) =
+  let live =
+    match live with Some l -> l | None -> Liveness.analyze f
+  in
+  let ivs = intervals ~live f in
   let locs = Hashtbl.create 64 in
   let free = ref pool in
   let active = ref ([] : (interval * Reg.t) list) in

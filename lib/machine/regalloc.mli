@@ -21,7 +21,9 @@ type assignment = {
 val pool : Reg.t list
 (** The allocatable registers, in preference order. *)
 
-val allocate : Mir.func -> assignment
+val allocate : ?live:Liveness.t -> Mir.func -> assignment
+(** [live] supplies a precomputed liveness analysis (the staged driver
+    times that stage separately); omitted, it is computed here. *)
 
 val loc_of : assignment -> int -> loc
 (** Location of a virtual register.  Raises [Invalid_argument] for an

@@ -1,0 +1,21 @@
+(** The machine-level lowering pipeline as explicit, instrumented stages.
+
+    Instruction selection, liveness analysis, register allocation and
+    expansion to symbolic assembly — the same work {!Emit.compile_func}
+    performs — but each stage timed and recorded into an optional
+    compilation context, under the ["machine"] stage label:
+
+    - ["isel"]: IR size in, MIR size out;
+    - ["liveness"]: MIR size (no rewrite);
+    - ["regalloc"]: spill count reported as the size delta;
+    - ["emit"]: MIR size in, assembly-item count out, with the encoded
+      byte size of the function in the [bytes] field.
+
+    The staged driver ({!Driver.compile}) lowers every function through
+    this module. *)
+
+val func : ?cctx:Cctx.t -> Ir.func -> Asm.func
+(** Lower one optimized IR function to symbolic assembly. *)
+
+val modul : ?cctx:Cctx.t -> Ir.modul -> Asm.func list
+(** Lower every function of a module, in order. *)

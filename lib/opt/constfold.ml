@@ -62,3 +62,10 @@ let run (f : Ir.func) =
       b.Ir.term <- fold_term b.Ir.term)
     f.blocks;
   !changed
+
+let pass =
+  {
+    Pass.name = "constfold";
+    descr = "constant folding, algebraic identities, branch folding";
+    run;
+  }

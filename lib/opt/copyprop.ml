@@ -60,3 +60,10 @@ let run (f : Ir.func) =
   in
   List.iter prop_block f.blocks;
   !changed
+
+let pass =
+  {
+    Pass.name = "copyprop";
+    descr = "block-local copy and constant propagation";
+    run;
+  }

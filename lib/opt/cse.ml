@@ -92,3 +92,10 @@ let run (f : Ir.func) =
   in
   List.iter cse_block f.blocks;
   !changed
+
+let pass =
+  {
+    Pass.name = "cse";
+    descr = "block-local common-subexpression elimination";
+    run;
+  }

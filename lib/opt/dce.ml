@@ -57,3 +57,5 @@ let run f =
     changed := true
   done;
   !changed
+
+let pass = { Pass.name = "dce"; descr = "dead-code elimination"; run }

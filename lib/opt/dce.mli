@@ -7,3 +7,6 @@
 
 val run : Ir.func -> bool
 (** Returns [true] if anything changed. *)
+
+val pass : Pass.t
+(** This transformation as a registered, first-class pass. *)

@@ -1,0 +1,1 @@
+type t = { name : string; descr : string; run : Ir.func -> bool }

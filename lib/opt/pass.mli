@@ -1,0 +1,17 @@
+(** First-class IR optimization passes.
+
+    A pass is a name, a one-line description, and an in-place rewrite of
+    one function that reports whether it changed anything.  Making passes
+    values (rather than a hardwired call sequence) is what lets the
+    pipeline be described as data: parsed from a [--passes] string,
+    reordered, ablated ("O2 minus CSE"), and instrumented per run by the
+    pass manager.
+
+    Every pass module exports its own [pass] value; {!Pipeline.registry}
+    collects them. *)
+
+type t = {
+  name : string;  (** registry key, e.g. ["constfold"] — no commas *)
+  descr : string;  (** one-line description for [--help] and docs *)
+  run : Ir.func -> bool;  (** rewrite in place; [true] if anything changed *)
+}

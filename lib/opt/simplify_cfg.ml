@@ -68,3 +68,10 @@ let run (f : Ir.func) =
       f.blocks
   done;
   !changed
+
+let pass =
+  {
+    Pass.name = "simplify-cfg";
+    descr = "CFG cleanup: unreachable blocks, jump threading, merging";
+    run;
+  }

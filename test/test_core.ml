@@ -292,6 +292,27 @@ let test_config_names () =
     (fun (n, c) -> Alcotest.(check string) "name roundtrip" n (Config.name c))
     Config.paper_configs
 
+let test_config_name_injective () =
+  (* Distinct configurations must have distinct names: the name feeds
+     Rng.of_labels in Driver.diversify, so a collision would also make
+     their diversified populations identical. *)
+  let base = Config.profiled ~pmin:0.0 ~pmax:0.30 () in
+  let fn = Config.profiled ~scope:`Function ~pmin:0.0 ~pmax:0.30 () in
+  Alcotest.(check string) "scope suffix" "p0-30-fn" (Config.name fn);
+  Alcotest.(check string) "xchg suffix" "p0-30+xchg"
+    (Config.name { base with Config.use_xchg = true });
+  Alcotest.(check string) "all suffixes" "p0-30-fn+xchg+shift"
+    (Config.name { fn with Config.use_xchg = true; bb_shift = true });
+  Alcotest.(check string) "uniform xchg" "p50+xchg"
+    (Config.name { (Config.uniform 0.5) with Config.use_xchg = true });
+  (* and therefore distinct configs draw from distinct RNG streams *)
+  let c = compile hot_loop_src in
+  let profile = Driver.train c ~args:[ 10l ] in
+  let img_base, _ = Driver.diversify c ~config:base ~profile ~version:0 in
+  let img_fn, _ = Driver.diversify c ~config:fn ~profile ~version:0 in
+  Alcotest.(check bool) "different configs, different binaries" true
+    (img_base.Link.text <> img_fn.Link.text)
+
 let suite =
   [
     ( "core.heuristic",
@@ -323,5 +344,7 @@ let suite =
         Alcotest.test_case "basic-block shifting" `Quick test_bb_shift;
         Alcotest.test_case "population" `Quick test_population;
         Alcotest.test_case "config names" `Quick test_config_names;
+        Alcotest.test_case "config names injective" `Quick
+          test_config_name_injective;
       ] );
   ]

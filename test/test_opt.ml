@@ -254,6 +254,181 @@ let test_levels () =
   Alcotest.(check bool) "bad level" true (Pipeline.level_of_string "O9" = None);
   Alcotest.(check string) "name" "O1" (Pipeline.level_name Pipeline.O1)
 
+(* ---- the pass manager: descriptions, parsing, instrumentation ---- *)
+
+let test_registry () =
+  Alcotest.(check (list string))
+    "standard pass order"
+    [ "simplify-cfg"; "constfold"; "copyprop"; "cse"; "dce" ]
+    Pipeline.pass_names;
+  List.iter
+    (fun n ->
+      match Pipeline.find_pass n with
+      | Some p -> Alcotest.(check string) "find_pass" n p.Pass.name
+      | None -> Alcotest.failf "pass %s not found" n)
+    Pipeline.pass_names;
+  Alcotest.(check bool) "unknown pass" true (Pipeline.find_pass "sroa" = None)
+
+let test_descr_roundtrip () =
+  List.iter
+    (fun s ->
+      match Pipeline.descr_of_string s with
+      | Error e -> Alcotest.failf "parse %S: %s" s e
+      | Ok d -> (
+          let s' = Pipeline.descr_to_string d in
+          match Pipeline.descr_of_string s' with
+          | Ok d' ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%S round-trips via %S" s s')
+                true (Pipeline.descr_equal d d')
+          | Error e -> Alcotest.failf "re-parse %S: %s" s' e))
+    [
+      "";
+      "dce";
+      "simplify-cfg,constfold,copyprop,cse,dce";
+      "cse,dce@3";
+      "constfold@1";
+      " constfold , dce ";
+    ];
+  (* every level's pipeline survives the string form too *)
+  List.iter
+    (fun l ->
+      let d = Pipeline.of_level l in
+      match Pipeline.descr_of_string (Pipeline.descr_to_string d) with
+      | Ok d' ->
+          Alcotest.(check bool)
+            (Pipeline.level_name l ^ " round-trips")
+            true (Pipeline.descr_equal d d')
+      | Error e -> Alcotest.failf "level %s: %s" (Pipeline.level_name l) e)
+    [ Pipeline.O0; Pipeline.O1; Pipeline.O2 ]
+
+let test_descr_errors () =
+  (match Pipeline.descr_of_string "no-such-pass" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown pass accepted");
+  match Pipeline.descr_of_string "dce@x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad round bound accepted"
+
+let opt_demo_src =
+  {|
+  global int g[8];
+  int helper(int x) { return x * 3 + g[x & 7]; }
+  int main() {
+    int acc = 0;
+    for (int i = 0; i < 20; i = i + 1) { g[i & 7] = i; acc = acc + helper(i); }
+    return acc;
+  }
+  |}
+
+let test_custom_pipeline_matches_o2 () =
+  (* The full standard sequence spelled out as a --passes string must
+     behave exactly like the built-in O2 pipeline. *)
+  let m2 = Pipeline.optimize (Minic.compile_exn opt_demo_src) in
+  let d =
+    match Pipeline.descr_of_string "simplify-cfg,constfold,copyprop,cse,dce" with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  let mc = Pipeline.run ~verify_each:true d (Minic.compile_exn opt_demo_src) in
+  let r2 = Interp.run m2 ~entry:"main" ~args:[] in
+  let rc = Interp.run mc ~entry:"main" ~args:[] in
+  Alcotest.(check int32) "same result" r2.Interp.ret rc.Interp.ret;
+  Alcotest.(check int) "same optimized size"
+    (List.fold_left (fun n f -> n + Pipeline.ir_size f) 0 m2.Ir.funcs)
+    (List.fold_left (fun n f -> n + Pipeline.ir_size f) 0 mc.Ir.funcs)
+
+let test_pass_stats_accounting () =
+  let c = Driver.compile ~name:"stats-test" opt_demo_src in
+  let stats = Cctx.stats c.Driver.cctx in
+  let ir_stats =
+    List.filter
+      (fun (s : Cctx.stat) -> s.Cctx.stage = "ir" && s.Cctx.pass <> "verify")
+      stats
+  in
+  List.iter
+    (fun (f : Ir.func) ->
+      let fs =
+        List.filter (fun (s : Cctx.stat) -> s.Cctx.func = f.Ir.name) ir_stats
+      in
+      match fs with
+      | [] -> Alcotest.failf "no ir stats recorded for %s" f.Ir.name
+      | first :: _ ->
+          let last = List.nth fs (List.length fs - 1) in
+          (* consecutive runs chain: each starts from the previous size *)
+          ignore
+            (List.fold_left
+               (fun prev (s : Cctx.stat) ->
+                 (match prev with
+                 | Some p ->
+                     Alcotest.(check int)
+                       (f.Ir.name ^ ": runs chain")
+                       p s.Cctx.items_before
+                 | None -> ());
+                 Some s.Cctx.items_after)
+               None fs);
+          (* deltas telescope: initial size + sum of deltas = final size *)
+          let sum_delta =
+            List.fold_left
+              (fun acc (s : Cctx.stat) ->
+                acc + (s.Cctx.items_after - s.Cctx.items_before))
+              0 fs
+          in
+          Alcotest.(check int)
+            (f.Ir.name ^ ": deltas sum to final size")
+            (last.Cctx.items_after - first.Cctx.items_before)
+            sum_delta;
+          (* and the recorded final size is the function's actual size *)
+          Alcotest.(check int)
+            (f.Ir.name ^ ": final size matches the module")
+            (Pipeline.ir_size f) last.Cctx.items_after)
+    c.Driver.modul.Ir.funcs;
+  (* machine stages recorded once per function, with emitted bytes *)
+  let emits =
+    List.filter
+      (fun (s : Cctx.stat) -> s.Cctx.stage = "machine" && s.Cctx.pass = "emit")
+      stats
+  in
+  Alcotest.(check int) "one emit record per function"
+    (List.length c.Driver.modul.Ir.funcs)
+    (List.length emits);
+  List.iter
+    (fun (s : Cctx.stat) ->
+      Alcotest.(check bool) "emitted bytes positive" true (s.Cctx.bytes > 0))
+    emits;
+  (* the emitted bytes in the table account for the whole user text *)
+  let total_emitted =
+    List.fold_left (fun acc (s : Cctx.stat) -> acc + s.Cctx.bytes) 0 emits
+  in
+  Alcotest.(check int) "emit bytes = assembled function sizes"
+    (List.fold_left (fun acc f -> acc + Asm.func_size f) 0 c.Driver.asm)
+    total_emitted
+
+let test_verify_each_catches_breakage () =
+  (* A deliberately broken "pass" must be caught immediately and named. *)
+  let rogue =
+    {
+      Pass.name = "dce";
+      (* reuse a registered name: the report must still surface *)
+      descr = "breaks the function";
+      run =
+        (fun f ->
+          (match f.Ir.blocks with
+          | b :: _ -> b.Ir.term <- Ir.Jmp 424242
+          | [] -> ());
+          true);
+    }
+  in
+  let d = { Pipeline.passes = [ rogue ]; max_rounds = 1 } in
+  let m = Minic.compile_exn "int main() { return 1; }" in
+  match Pipeline.run ~verify_each:true d m with
+  | exception Failure msg ->
+      Alcotest.(check bool) "names the pass" true
+        (String.length msg > 0
+        && String.sub msg 0 (String.length "IR verification failed")
+           = "IR verification failed")
+  | _ -> Alcotest.fail "broken IR not caught"
+
 let suite =
   [
     ( "opt.constfold",
@@ -295,5 +470,17 @@ let suite =
       [
         Alcotest.test_case "fixpoint" `Quick test_pipeline_fixpoint_terminates;
         Alcotest.test_case "levels" `Quick test_levels;
+      ] );
+    ( "opt.pass-manager",
+      [
+        Alcotest.test_case "registry" `Quick test_registry;
+        Alcotest.test_case "descr round-trip" `Quick test_descr_roundtrip;
+        Alcotest.test_case "descr errors" `Quick test_descr_errors;
+        Alcotest.test_case "custom pipeline = O2" `Quick
+          test_custom_pipeline_matches_o2;
+        Alcotest.test_case "pass-stat accounting" `Quick
+          test_pass_stats_accounting;
+        Alcotest.test_case "verify-each catches breakage" `Quick
+          test_verify_each_catches_breakage;
       ] );
   ]

@@ -51,6 +51,32 @@ let php_program_cases =
           | _ -> Alcotest.fail "unexpected phpvm output shape"))
     Workloads.php_profiles
 
+let check_opt_differential (w : Workload.t) () =
+  (* Optimization must preserve behaviour on every suite program: O0 and
+     O2 (the latter with per-pass IR verification on) must produce
+     identical simulator output and exit codes, and the standard
+     sequence spelled out as a --passes pipeline must reproduce the
+     default O2 binary bit for bit. *)
+  let c0 = Driver.compile ~opt:Pipeline.O0 ~name:w.name w.source in
+  let c2 = Driver.compile ~verify_each:true ~name:w.name w.source in
+  let custom =
+    match
+      Pipeline.descr_of_string "simplify-cfg,constfold,copyprop,cse,dce"
+    with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  let cp =
+    Driver.compile ~passes:custom ~verify_each:true ~name:w.name w.source
+  in
+  let r0 = Driver.run_image (Driver.link_baseline c0) ~args:w.train_args in
+  let r2 = Driver.run_image (Driver.link_baseline c2) ~args:w.train_args in
+  Alcotest.(check string) "O0/O2 simulator output" r0.Sim.output r2.Sim.output;
+  Alcotest.(check int32) "O0/O2 exit status" r0.Sim.status r2.Sim.status;
+  Alcotest.(check bool) "custom pipeline reproduces the O2 binary" true
+    ((Driver.link_baseline cp).Link.text
+    = (Driver.link_baseline c2).Link.text)
+
 let test_find () =
   Alcotest.(check string) "full name" "473.astar"
     (Workloads.find "473.astar").Workload.name;
@@ -79,6 +105,11 @@ let suite =
           Alcotest.test_case w.name `Quick (check_diversified_still_correct w))
         (* the three cheapest cover the property without slowing the suite *)
         [ Workloads.find "mcf"; Workloads.find "lbm"; Workloads.find "astar" ] );
+    ( "workloads.opt-differential",
+      List.map
+        (fun (w : Workload.t) ->
+          Alcotest.test_case w.name `Quick (check_opt_differential w))
+        Workloads.all );
     ("workloads.phpvm", php_program_cases);
     ("workloads.registry", [ Alcotest.test_case "find" `Quick test_find ]);
   ]
