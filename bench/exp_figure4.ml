@@ -47,7 +47,7 @@ let run () =
         List.iter (fun (_, o) -> Format.printf "%9.2f%%" o) row.overheads;
         Format.printf "@.";
         row)
-      Workloads.all
+      (Suite.workloads ())
   in
   (* Geometric mean of the slowdown factors, reported as overhead %. *)
   Format.printf "%-16s" "Geometric Mean";

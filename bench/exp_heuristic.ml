@@ -22,7 +22,7 @@ let run () =
         median
         (Suite.pct (prob Heuristic.Linear))
         (Suite.pct (prob Heuristic.Logarithmic)))
-    Workloads.all;
+    (Suite.workloads ());
   Format.printf
     "@.paper's 473.astar worked example (median 117,635 of max 2e9, range \
      10-50%%):@.";

@@ -43,7 +43,7 @@ let run () =
   List.iter (fun c -> Format.printf "%9s" c) Suite.config_names;
   Format.printf "%8s%11s@." "Extra%" "Surviving%";
   let rows =
-    List.map (fun w -> measure_row (Suite.prepared w)) Workloads.all
+    List.map (fun w -> measure_row (Suite.prepared w)) (Suite.workloads ())
   in
   (* The paper sorts by baseline gadget count. *)
   let rows =

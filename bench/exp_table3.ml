@@ -40,4 +40,4 @@ let run () =
             Suite.config_names)
         thresholds;
       Format.printf "@.")
-    Workloads.all
+    (Suite.workloads ())

@@ -1,13 +1,16 @@
 (* The evaluation harness: regenerates every table and figure of the
-   paper's evaluation, plus heuristic analysis, ablations, and Bechamel
-   microbenchmarks of the underlying kernels.
+   paper's evaluation, plus heuristic analysis, ablations, telemetry and
+   Bechamel microbenchmarks of the underlying kernels.
 
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- figure4      # one experiment
      dune exec bench/main.exe -- --versions 5 figure4
+     dune exec bench/main.exe -- --workloads 429.mcf,470.lbm telemetry
+     dune exec bench/main.exe -- --trace bench.trace telemetry
 
    Experiments: table1 figure4 table2 table3 php-attack heuristic
-   ablation micro *)
+   ablation micro telemetry.  The telemetry experiment writes the
+   machine-readable report (default BENCH_PR2.json, see --out). *)
 
 let experiments =
   [
@@ -19,15 +22,19 @@ let experiments =
     ("php-attack", Exp_php.run);
     ("ablation", Exp_ablation.run);
     ("micro", Exp_micro.run);
+    ("telemetry", Exp_telemetry.run);
   ]
 
 let usage () =
-  Format.printf "usage: main.exe [--versions N] [experiment...]@.";
+  Format.printf
+    "usage: main.exe [--versions N] [--workloads A,B,..] [--trace FILE] \
+     [--out FILE] [experiment...]@.";
   Format.printf "experiments: %s@."
     (String.concat " " (List.map fst experiments));
   exit 1
 
 let () =
+  let trace_file = ref None in
   let args = List.tl (Array.to_list Sys.argv) in
   let rec parse selected = function
     | [] -> List.rev selected
@@ -37,6 +44,22 @@ let () =
             Suite.perf_versions := v;
             parse selected rest
         | _ -> usage ())
+    | "--workloads" :: names :: rest -> (
+        match
+          List.map Workloads.find (String.split_on_char ',' names)
+        with
+        | ws ->
+            Suite.selected_workloads := ws;
+            parse selected rest
+        | exception Not_found ->
+            Format.printf "unknown workload in %S@." names;
+            usage ())
+    | "--trace" :: file :: rest ->
+        trace_file := Some file;
+        parse selected rest
+    | "--out" :: file :: rest ->
+        Suite.telemetry_out := file;
+        parse selected rest
     | ("-h" | "--help") :: _ -> usage ()
     | name :: rest ->
         if List.mem_assoc name experiments then parse (name :: selected) rest
@@ -49,11 +72,20 @@ let () =
   let to_run =
     match selected with [] -> List.map fst experiments | l -> l
   in
+  if !trace_file <> None then Trace.start ();
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->
       let t = Unix.gettimeofday () in
-      (List.assoc name experiments) ();
+      Trace.with_span "experiment" ~args:[ ("name", name) ] (fun () ->
+          (List.assoc name experiments) ());
       Format.printf "[%s finished in %.1fs]@." name (Unix.gettimeofday () -. t))
     to_run;
-  Format.printf "@.total: %.1fs@." (Unix.gettimeofday () -. t0)
+  Format.printf "@.total: %.1fs@." (Unix.gettimeofday () -. t0);
+  match !trace_file with
+  | None -> ()
+  | Some file ->
+      Trace.stop ();
+      Trace.write file;
+      Format.printf "trace: %d events written to %s@." (Trace.event_count ())
+        file

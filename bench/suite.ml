@@ -30,6 +30,15 @@ let config_names = List.map fst configs
 let security_population = 25
 let perf_versions = ref 3
 
+(* Which workloads the workload-sweeping experiments cover: all 19 by
+   default, restrictable with bench's --workloads flag (the CI smoke run
+   keeps a full experiment cheap by selecting two small programs). *)
+let selected_workloads = ref Workloads.all
+let workloads () = !selected_workloads
+
+(* Where the telemetry experiment writes its machine-readable report. *)
+let telemetry_out = ref "BENCH_PR2.json"
+
 let run_version p config version ~args =
   let image, _ =
     Driver.diversify p.compiled ~config ~profile:p.profile ~version

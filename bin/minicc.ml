@@ -11,6 +11,13 @@
      minicc compile prog.mc --pass-stats          # per-pass time/size table
      minicc compile prog.mc --pass-stats=json     # same, machine-readable
      minicc run prog.bin --args 5,10              # simulate
+     minicc run prog.bin --args 5,10 --sim-profile
+                                                  # + pprof-style runtime
+                                                  # profile (per-function
+                                                  # insns/NOPs/cycles)
+     minicc run prog.bin --args 5,10 --sim-profile=json
+     minicc compile prog.mc --trace compile.trace # Chrome trace-event
+                                                  # spans (any command)
      minicc profile prog.mc --args 5,10 -o prog.prof
      minicc diversify prog.mc --profile prog.prof --config p0-30 \
             --variant 3 -o prog.div.bin
@@ -137,6 +144,33 @@ let build_term =
   in
   Term.(const make $ opt_level_arg $ passes_arg $ verify_each_arg)
 
+(* ---- tracing: every command accepts --trace=FILE and exports the
+   spans the driver opened (compile, train, diversify, link, simulate)
+   as Chrome trace-event JSON. ---- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record begin/end spans for every toolchain stage and write \
+           them to $(docv) in Chrome trace-event JSON (load in \
+           chrome://tracing or Perfetto).")
+
+let with_trace trace_file f =
+  match trace_file with
+  | None -> f ()
+  | Some file ->
+      Trace.start ();
+      Fun.protect
+        ~finally:(fun () ->
+          Trace.stop ();
+          Trace.write file;
+          Format.eprintf "trace: %d events written to %s@."
+            (Trace.event_count ()) file)
+        f
+
 let pass_stats_arg =
   Arg.(
     value
@@ -155,49 +189,76 @@ let print_pass_stats fmt (c : Driver.compiled) =
 (* ---- commands ---- *)
 
 let compile_cmd =
-  let run source output build stats =
-    let c = compile_source ~build source in
-    let image = Driver.link_baseline c in
-    Link.save image output;
-    Format.printf "%s: %d bytes of .text, %d functions@." output
-      (String.length image.Link.text)
-      (List.length image.Link.symbols);
-    print_pass_stats stats c
+  let run source output build stats trace =
+    with_trace trace (fun () ->
+        let c = compile_source ~build source in
+        let image = Driver.link_baseline c in
+        Link.save image output;
+        Format.printf "%s: %d bytes of .text, %d functions@." output
+          (String.length image.Link.text)
+          (List.length image.Link.symbols);
+        print_pass_stats stats c)
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile MiniC to an undiversified binary image.")
     Term.(
       const run $ source_arg $ output_arg ~default:"a.bin" $ build_term
-      $ pass_stats_arg)
+      $ pass_stats_arg $ trace_arg)
+
+let sim_profile_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some `Table)
+        (some (enum [ ("table", `Table); ("json", `Json) ]))
+        None
+    & info [ "sim-profile" ] ~docv:"FORMAT"
+        ~doc:
+          "Collect a runtime execution profile (per-function and \
+           per-block retired instructions, retired candidate NOPs and \
+           modeled cycles) and print it as a pprof-style $(b,table) \
+           (default) or $(b,json).")
 
 let run_cmd =
-  let run binary args =
-    let image = Link.load binary in
-    let r = Driver.run_image image ~args:(parse_args args) in
-    print_string r.Sim.output;
-    Format.printf "[status %ld, %Ld instructions, %.0f cycles]@." r.Sim.status
-      r.Sim.instructions r.Sim.cycles
+  let run binary args sim_profile trace =
+    with_trace trace (fun () ->
+        let image = Link.load binary in
+        let r =
+          Driver.run_image image
+            ~profile:(sim_profile <> None)
+            ~args:(parse_args args)
+        in
+        print_string r.Sim.output;
+        Format.printf "[status %ld, %Ld instructions, %.0f cycles]@."
+          r.Sim.status r.Sim.instructions r.Sim.cycles;
+        match sim_profile with
+        | None -> ()
+        | Some fmt -> (
+            let prof = Simprof.of_result image r in
+            match fmt with
+            | `Table -> Format.printf "%a" Simprof.pp_flat prof
+            | `Json -> print_endline (Simprof.to_json prof)))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a binary image in the CPU simulator.")
-    Term.(const run $ source_arg $ args_arg)
+    Term.(const run $ source_arg $ args_arg $ sim_profile_arg $ trace_arg)
 
 let profile_cmd =
-  let run source output args build =
-    let c = compile_source ~build source in
-    let profile = Driver.train c ~args:(parse_args args) in
-    let oc = open_out output in
-    output_string oc (Profile.to_string profile);
-    close_out oc;
-    Format.printf "%s: max block count %Ld@." output
-      (Profile.max_count profile)
+  let run source output args build trace =
+    with_trace trace (fun () ->
+        let c = compile_source ~build source in
+        let profile = Driver.train c ~args:(parse_args args) in
+        let oc = open_out output in
+        output_string oc (Profile.to_string profile);
+        close_out oc;
+        Format.printf "%s: max block count %Ld@." output
+          (Profile.max_count profile))
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Run the training input and write the execution profile.")
     Term.(
       const run $ source_arg $ output_arg ~default:"a.prof" $ args_arg
-      $ build_term)
+      $ build_term $ trace_arg)
 
 let diversify_cmd =
   let profile_arg =
@@ -214,32 +275,33 @@ let diversify_cmd =
   let version_arg =
     Arg.(value & opt int 0 & info [ "n"; "variant" ] ~docv:"N" ~doc:"Version index (seed).")
   in
-  let run source output profile_path config version build stats =
-    let c = compile_source ~build source in
-    let profile =
-      match profile_path with
-      | Some p -> Profile.of_string (read_file p)
-      | None -> Profile.empty
-    in
-    let config = parse_config config in
-    (match config.Config.strategy with
-    | Config.Profiled _ when Profile.is_empty profile ->
-        Format.eprintf
-          "warning: profile-guided config without --profile; everything is \
-           cold@."
-    | _ -> ());
-    let image, nstats = Driver.diversify c ~config ~profile ~version in
-    Link.save image output;
-    Format.printf "%s: inserted %d NOPs over %d instructions (%d bytes)@."
-      output nstats.Nop_insert.nops_inserted nstats.Nop_insert.insns_seen
-      nstats.Nop_insert.bytes_added;
-    print_pass_stats stats c
+  let run source output profile_path config version build stats trace =
+    with_trace trace (fun () ->
+        let c = compile_source ~build source in
+        let profile =
+          match profile_path with
+          | Some p -> Profile.of_string (read_file p)
+          | None -> Profile.empty
+        in
+        let config = parse_config config in
+        (match config.Config.strategy with
+        | Config.Profiled _ when Profile.is_empty profile ->
+            Format.eprintf
+              "warning: profile-guided config without --profile; everything \
+               is cold@."
+        | _ -> ());
+        let image, nstats = Driver.diversify c ~config ~profile ~version in
+        Link.save image output;
+        Format.printf "%s: inserted %d NOPs over %d instructions (%d bytes)@."
+          output nstats.Nop_insert.nops_inserted nstats.Nop_insert.insns_seen
+          nstats.Nop_insert.bytes_added;
+        print_pass_stats stats c)
   in
   Cmd.v
     (Cmd.info "diversify" ~doc:"Build one diversified version of a program.")
     Term.(
       const run $ source_arg $ output_arg ~default:"a.div.bin" $ profile_arg
-      $ config_arg $ version_arg $ build_term $ pass_stats_arg)
+      $ config_arg $ version_arg $ build_term $ pass_stats_arg $ trace_arg)
 
 let gadgets_cmd =
   let run binary =
@@ -331,19 +393,28 @@ let workload_cmd =
   let ref_arg =
     Arg.(value & flag & info [ "ref" ] ~doc:"Use the ref input (default: train).")
   in
-  let run name use_ref =
-    let w = Workloads.find name in
-    let c = Driver.compile ~name:w.Workload.name w.source in
-    let args = if use_ref then w.ref_args else w.train_args in
-    let r = Driver.run_image (Driver.link_baseline c) ~args in
-    print_string r.Sim.output;
-    Format.printf "[%s %s: status %ld, %Ld instructions]@." w.name
-      (if use_ref then "ref" else "train")
-      r.Sim.status r.Sim.instructions
+  let run name use_ref sim_profile trace =
+    with_trace trace (fun () ->
+        let w = Workloads.find name in
+        let c = Driver.compile ~name:w.Workload.name w.source in
+        let args = if use_ref then w.ref_args else w.train_args in
+        let image = Driver.link_baseline c in
+        let r = Driver.run_image image ~profile:(sim_profile <> None) ~args in
+        print_string r.Sim.output;
+        Format.printf "[%s %s: status %ld, %Ld instructions]@." w.name
+          (if use_ref then "ref" else "train")
+          r.Sim.status r.Sim.instructions;
+        match sim_profile with
+        | None -> ()
+        | Some fmt -> (
+            let prof = Simprof.of_result image r in
+            match fmt with
+            | `Table -> Format.printf "%a" Simprof.pp_flat prof
+            | `Json -> print_endline (Simprof.to_json prof)))
   in
   Cmd.v
     (Cmd.info "workload" ~doc:"Run a benchmark-suite program by name.")
-    Term.(const run $ name_arg $ ref_arg)
+    Term.(const run $ name_arg $ ref_arg $ sim_profile_arg $ trace_arg)
 
 let () =
   let doc = "profile-guided software diversity compiler (CGO'13 reproduction)" in

@@ -21,47 +21,61 @@ let compile ?(opt = Pipeline.O2) ?passes ?(verify_each = false) ~name src =
   let descr =
     match passes with Some d -> d | None -> Pipeline.of_level opt
   in
-  let cctx = Cctx.create ~verify_each name in
-  let modul, dt = Cctx.timed (fun () -> Minic.compile_exn src) in
-  Cctx.record cctx
-    {
-      Cctx.stage = "front";
-      pass = "parse+lower";
-      func = "*";
-      time_s = dt;
-      items_before = 0;
-      items_after = modul_size modul;
-      bytes = 0;
-      changed = true;
-    };
-  let modul = Pipeline.run ~cctx ~verify_each descr modul in
-  let (), dt = Cctx.timed (fun () -> Verify.check_exn modul) in
-  Cctx.record cctx
-    {
-      Cctx.stage = "ir";
-      pass = "verify";
-      func = "*";
-      time_s = dt;
-      items_before = modul_size modul;
-      items_after = modul_size modul;
-      bytes = 0;
-      changed = false;
-    };
-  let main =
-    match Ir.find_func modul "main" with
-    | f -> f
-    | exception Not_found -> failwith ("Driver.compile: " ^ name ^ " has no main")
-  in
-  let asm = Stages.modul ~cctx modul in
-  {
-    name;
-    modul;
-    asm;
-    main_arity = List.length main.params;
-    cctx;
-    pipeline = descr;
-    cache_key = cache_key_of ~descr ~verify_each ~name src;
-  }
+  Trace.with_span "compile"
+    ~args:
+      [ ("program", name); ("pipeline", Pipeline.descr_to_string descr) ]
+    (fun () ->
+      let cctx = Cctx.create ~verify_each name in
+      let modul, dt =
+        Trace.with_span "front" ~args:[ ("program", name) ] (fun () ->
+            Cctx.timed (fun () -> Minic.compile_exn src))
+      in
+      Cctx.record cctx
+        {
+          Cctx.stage = "front";
+          pass = "parse+lower";
+          func = "*";
+          time_s = dt;
+          items_before = 0;
+          items_after = modul_size modul;
+          bytes = 0;
+          changed = true;
+        };
+      let modul =
+        Trace.with_span "ir-pipeline" ~args:[ ("program", name) ] (fun () ->
+            Pipeline.run ~cctx ~verify_each descr modul)
+      in
+      let (), dt = Cctx.timed (fun () -> Verify.check_exn modul) in
+      Cctx.record cctx
+        {
+          Cctx.stage = "ir";
+          pass = "verify";
+          func = "*";
+          time_s = dt;
+          items_before = modul_size modul;
+          items_after = modul_size modul;
+          bytes = 0;
+          changed = false;
+        };
+      let main =
+        match Ir.find_func modul "main" with
+        | f -> f
+        | exception Not_found ->
+            failwith ("Driver.compile: " ^ name ^ " has no main")
+      in
+      let asm =
+        Trace.with_span "machine" ~args:[ ("program", name) ] (fun () ->
+            Stages.modul ~cctx modul)
+      in
+      {
+        name;
+        modul;
+        asm;
+        main_arity = List.length main.params;
+        cctx;
+        pipeline = descr;
+        cache_key = cache_key_of ~descr ~verify_each ~name src;
+      })
 
 (* ---- shared artifact caches (the evaluation harness recompiles each
    workload across many experiments; everything keys off cache_key) ---- *)
@@ -75,10 +89,15 @@ let clear_caches () =
   Hashtbl.reset profile_cache;
   Hashtbl.reset baseline_cache
 
-let memo tbl key build =
+let memo ~metric tbl key build =
+  (* Every lookup lands in the metrics registry as a hit or a miss, so a
+     bench dump shows exactly how much recompilation the caches saved. *)
   match Hashtbl.find_opt tbl key with
-  | Some v -> v
+  | Some v ->
+      Metrics.incr (Metrics.counter (metric ^ ".hit"));
+      v
   | None ->
+      Metrics.incr (Metrics.counter (metric ^ ".miss"));
       let v = build () in
       Hashtbl.replace tbl key v;
       v
@@ -89,23 +108,30 @@ let compile_cached ?(opt = Pipeline.O2) ?passes ?(verify_each = false) ~name
     match passes with Some d -> d | None -> Pipeline.of_level opt
   in
   let key = cache_key_of ~descr ~verify_each ~name src in
-  memo compile_cache key (fun () ->
+  memo ~metric:"driver.compile_cache" compile_cache key (fun () ->
       compile ~opt ?passes ~verify_each ~name src)
 
-let train c ~args = Profile.collect c.modul ~entry:"main" ~args
-let train_many c ~args_list = Profile.collect_many c.modul ~entry:"main" ~args_list
+let train c ~args =
+  Trace.with_span "train" ~args:[ ("program", c.name) ] (fun () ->
+      Profile.collect c.modul ~entry:"main" ~args)
+
+let train_many c ~args_list =
+  Trace.with_span "train" ~args:[ ("program", c.name) ] (fun () ->
+      Profile.collect_many c.modul ~entry:"main" ~args_list)
 
 let train_cached c ~args =
   let key =
     c.cache_key ^ "|" ^ String.concat "," (List.map Int32.to_string args)
   in
-  memo profile_cache key (fun () -> train c ~args)
+  memo ~metric:"driver.profile_cache" profile_cache key (fun () ->
+      train c ~args)
 
 let link_baseline c =
   let image, dt =
-    Cctx.timed (fun () ->
-        Link.link ~funcs:c.asm ~globals:c.modul.globals
-          ~main_arity:c.main_arity)
+    Trace.with_span "link" ~args:[ ("program", c.name) ] (fun () ->
+        Cctx.timed (fun () ->
+            Link.link ~funcs:c.asm ~globals:c.modul.globals
+              ~main_arity:c.main_arity))
   in
   Cctx.record c.cctx
     {
@@ -121,33 +147,50 @@ let link_baseline c =
   image
 
 let link_baseline_cached c =
-  memo baseline_cache c.cache_key (fun () -> link_baseline c)
+  memo ~metric:"driver.baseline_cache" baseline_cache c.cache_key (fun () ->
+      link_baseline c)
 
 let diversify c ~config ~profile ~version =
-  let rng =
-    Rng.of_labels config.Config.seed
-      [ c.name; Config.name config; string_of_int version ]
-  in
-  let (funcs, stats), dt =
-    Cctx.timed (fun () -> Nop_insert.run_program ~config ~profile ~rng c.asm)
-  in
-  Cctx.record c.cctx
-    {
-      Cctx.stage = "diversify";
-      pass = "nop-insert";
-      func = "*";
-      time_s = dt;
-      items_before = stats.Nop_insert.insns_seen;
-      items_after = stats.Nop_insert.insns_seen + stats.Nop_insert.nops_inserted;
-      bytes = stats.Nop_insert.bytes_added;
-      changed = stats.Nop_insert.nops_inserted > 0;
-    };
-  ( Link.link ~funcs ~globals:c.modul.globals ~main_arity:c.main_arity,
-    stats )
+  let cname = Config.name config in
+  Trace.with_span "diversify"
+    ~args:
+      [ ("program", c.name); ("config", cname);
+        ("version", string_of_int version) ]
+    (fun () ->
+      let rng =
+        Rng.of_labels config.Config.seed
+          [ c.name; cname; string_of_int version ]
+      in
+      let (funcs, stats), dt =
+        Cctx.timed (fun () ->
+            Nop_insert.run_program ~config ~profile ~rng c.asm)
+      in
+      Cctx.record c.cctx
+        {
+          Cctx.stage = "diversify";
+          pass = "nop-insert";
+          func = "*";
+          time_s = dt;
+          items_before = stats.Nop_insert.insns_seen;
+          items_after =
+            stats.Nop_insert.insns_seen + stats.Nop_insert.nops_inserted;
+          bytes = stats.Nop_insert.bytes_added;
+          changed = stats.Nop_insert.nops_inserted > 0;
+        };
+      Metrics.incr
+        ~by:(Int64.of_int stats.Nop_insert.nops_inserted)
+        (Metrics.counter ("diversify.nops_inserted." ^ cname));
+      Metrics.observe
+        (Metrics.histogram ("diversify.nop_bytes." ^ cname))
+        (float_of_int stats.Nop_insert.bytes_added);
+      ( Link.link ~funcs ~globals:c.modul.globals ~main_arity:c.main_arity,
+        stats ))
 
 let population c ~config ~profile ~n =
   List.init n (fun version ->
       fst (diversify c ~config ~profile ~version))
 
 let run_ir c ~args = Interp.run c.modul ~entry:"main" ~args
-let run_image ?fuel image ~args = Sim.run ?fuel image ~args
+
+let run_image ?fuel ?profile image ~args =
+  Trace.with_span "simulate" (fun () -> Sim.run ?fuel ?profile image ~args)

@@ -94,5 +94,7 @@ val population :
 val run_ir : compiled -> args:int32 list -> Interp.result
 (** Execute the optimized IR under the reference interpreter. *)
 
-val run_image : ?fuel:int64 -> Link.image -> args:int32 list -> Sim.result
-(** Execute a linked binary under the CPU simulator. *)
+val run_image :
+  ?fuel:int64 -> ?profile:bool -> Link.image -> args:int32 list -> Sim.result
+(** Execute a linked binary under the CPU simulator.  [profile] collects
+    the per-offset runtime {!Sim.exec_profile} (see {!Simprof}). *)

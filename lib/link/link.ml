@@ -4,6 +4,7 @@ type image = {
   symbols : (string * int) list;
   entry : int;
   user_start : int;
+  block_offsets : (string * (Ir.label * int) list) list;
   globals : (string * int32) list;
   data_init : (int32 * int32 array) list;
   main_arity : int;
@@ -99,6 +100,16 @@ let link ~funcs ~globals ~main_arity =
       (fun ((f : Asm.func), _) -> (f.name, Hashtbl.find offsets f.name))
       assembled
   in
+  let block_offsets =
+    (* Absolute text offset of every basic-block label, per function —
+       the layout map that lets runtime profiles attribute executed
+       offsets back to blocks. *)
+    List.map
+      (fun ((f : Asm.func), (a : Asm.assembled)) ->
+        let base = Hashtbl.find offsets f.name in
+        (f.name, List.map (fun (l, o) -> (l, base + o)) a.label_offsets))
+      assembled
+  in
   let user_start =
     (* The first user function follows the fixed runtime block. *)
     match funcs with
@@ -111,6 +122,7 @@ let link ~funcs ~globals ~main_arity =
     symbols;
     entry = Hashtbl.find offsets Libc.start_symbol;
     user_start;
+    block_offsets;
     globals = global_addrs;
     data_init;
     main_arity;
@@ -125,7 +137,10 @@ let user_text image =
   String.sub image.text image.user_start
     (String.length image.text - image.user_start)
 
-let magic = "PSDIMG01"
+(* Bumped (01 -> 02) when [block_offsets] joined the image record: the
+   marshalled layout changed, and the magic is what turns a stale file
+   into a clean error instead of garbage. *)
+let magic = "PSDIMG02"
 
 let save image path =
   let oc = open_out_bin path in

@@ -16,6 +16,10 @@ type image = {
   symbols : (string * int) list;  (** function -> text offset *)
   entry : int;  (** text offset of the entry stub *)
   user_start : int;  (** text offset where (diversifiable) user code begins *)
+  block_offsets : (string * (Ir.label * int) list) list;
+      (** function -> (block label, absolute text offset) — the layout
+          map {!Simprof} uses to attribute executed offsets back to basic
+          blocks (and thus to the §3.1 training profile's keys) *)
   globals : (string * int32) list;  (** global -> absolute data address *)
   data_init : (int32 * int32 array) list;  (** address -> initial words *)
   main_arity : int;

@@ -1,0 +1,27 @@
+(** A minimal JSON writer.
+
+    The observability sinks (trace export, metrics dump, runtime-profile
+    export, bench telemetry) all emit JSON; building the value as a tree
+    and serializing it here guarantees well-formed output — escaping,
+    separators and non-finite floats are handled in exactly one place —
+    instead of each sink string-concatenating its own. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int64
+  | Float of float  (** non-finite values serialize as [null] *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+(** [Int] of a native [int]. *)
+
+val escape : string -> string
+(** JSON string-escape (no surrounding quotes). *)
+
+val to_string : t -> string
+(** Compact serialization (no insignificant whitespace). *)
+
+val to_channel : out_channel -> t -> unit

@@ -1,0 +1,81 @@
+type counter = { cname : string; mutable count : int64 }
+type histogram = { hname : string; mutable values : float list; mutable n : int }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { cname = name; count = 0L } in
+      Hashtbl.replace counters name c;
+      c
+
+let incr ?(by = 1L) c = c.count <- Int64.add c.count by
+let counter_value c = c.count
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h = { hname = name; values = []; n = 0 } in
+      Hashtbl.replace histograms name h;
+      h
+
+let observe h v =
+  h.values <- v :: h.values;
+  h.n <- h.n + 1
+
+let histogram_count h = h.n
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0L) counters;
+  Hashtbl.iter
+    (fun _ h ->
+      h.values <- [];
+      h.n <- 0)
+    histograms
+
+let quantile sorted q =
+  (* Nearest-rank on a sorted array; [q] in [0,1]. *)
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1 |> max 0))
+
+let hist_summary h =
+  let a = Array.of_list h.values in
+  Array.sort compare a;
+  let n = Array.length a in
+  let sum = Array.fold_left ( +. ) 0.0 a in
+  Jsonw.Obj
+    [
+      ("count", Jsonw.int n);
+      ("sum", Jsonw.Float sum);
+      ("min", Jsonw.Float (if n = 0 then 0.0 else a.(0)));
+      ("max", Jsonw.Float (if n = 0 then 0.0 else a.(n - 1)));
+      ("mean", Jsonw.Float (if n = 0 then 0.0 else sum /. float_of_int n));
+      ("p50", Jsonw.Float (quantile a 0.50));
+      ("p90", Jsonw.Float (quantile a 0.90));
+      ("p99", Jsonw.Float (quantile a 0.99));
+    ]
+
+let sorted_bindings tbl =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let dump () =
+  Jsonw.Obj
+    [
+      ( "counters",
+        Jsonw.Obj
+          (List.map
+             (fun k -> (k, Jsonw.Int (Hashtbl.find counters k).count))
+             (sorted_bindings counters)) );
+      ( "histograms",
+        Jsonw.Obj
+          (List.map
+             (fun k -> (k, hist_summary (Hashtbl.find histograms k)))
+             (sorted_bindings histograms)) );
+    ]
+
+let dump_json () = Jsonw.to_string (dump ())

@@ -1,0 +1,43 @@
+(** A process-wide metrics registry: named counters and histograms.
+
+    Instrumentation points across the toolchain (driver cache hits and
+    misses, simulator faults and cache misses, NOP bytes per
+    configuration) register by name on first use and accumulate for the
+    life of the process; {!dump_json} is the single machine-readable sink
+    — the bench suite writes it into [BENCH_PR2.json], the
+    perf-trajectory record every future PR appends to.
+
+    Names are dotted paths ([driver.compile_cache.hit],
+    [sim.icache_misses]).  Output is sorted by name, so dumps are stable
+    across runs. *)
+
+type counter
+type histogram
+
+val counter : string -> counter
+(** Find-or-create the counter named [name]. *)
+
+val incr : ?by:int64 -> counter -> unit
+(** Add [by] (default 1). *)
+
+val counter_value : counter -> int64
+
+val histogram : string -> histogram
+(** Find-or-create the histogram named [name]. *)
+
+val observe : histogram -> float -> unit
+
+val histogram_count : histogram -> int
+
+val reset : unit -> unit
+(** Zero every counter and empty every histogram (the registry itself —
+    names — survives).  The bench suite resets between runs so a dump
+    covers exactly one invocation. *)
+
+val dump : unit -> Jsonw.t
+(** The registry as a JSON value:
+    [{"counters": {name: n, ...},
+      "histograms": {name: {count, sum, min, max, mean, p50, p90, p99}}}] *)
+
+val dump_json : unit -> string
+(** [Jsonw.to_string (dump ())]. *)

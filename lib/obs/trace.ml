@@ -1,0 +1,110 @@
+type event = {
+  name : string;
+  cat : string;
+  ph : [ `Complete | `Instant ];
+  ts_us : float;  (* start, microseconds since trace start *)
+  dur_us : float;  (* 0 for instants *)
+  args : (string * string) list;
+}
+
+type span = { sname : string; scat : string; st0 : float; sargs : (string * string) list; live : bool }
+
+let on = ref false
+let t0 = ref 0.0
+let events : event list ref = ref []  (* reverse chronological *)
+let n_events = ref 0
+
+let enabled () = !on
+
+let start () =
+  events := [];
+  n_events := 0;
+  t0 := Clock.now_s ();
+  on := true
+
+let stop () = on := false
+
+let reset () =
+  on := false;
+  events := [];
+  n_events := 0
+
+let us_since_start () = (Clock.now_s () -. !t0) *. 1e6
+
+let push e =
+  events := e :: !events;
+  incr n_events
+
+let dead_span = { sname = ""; scat = ""; st0 = 0.0; sargs = []; live = false }
+
+let begin_span ?(cat = "") ?(args = []) name =
+  if not !on then dead_span
+  else { sname = name; scat = cat; st0 = us_since_start (); sargs = args; live = true }
+
+let end_span ?(args = []) s =
+  if !on && s.live then
+    push
+      {
+        name = s.sname;
+        cat = s.scat;
+        ph = `Complete;
+        ts_us = s.st0;
+        dur_us = Float.max 0.0 (us_since_start () -. s.st0);
+        args = s.sargs @ args;
+      }
+
+let with_span ?cat ?args name f =
+  if not !on then f ()
+  else
+    let s = begin_span ?cat ?args name in
+    Fun.protect ~finally:(fun () -> end_span s) f
+
+let instant ?(cat = "") ?(args = []) name =
+  if !on then
+    push
+      {
+        name;
+        cat;
+        ph = `Instant;
+        ts_us = us_since_start ();
+        dur_us = 0.0;
+        args;
+      }
+
+let event_count () = !n_events
+
+let event_json (e : event) =
+  let base =
+    [
+      ("name", Jsonw.Str e.name);
+      ("cat", Jsonw.Str (if e.cat = "" then "psd" else e.cat));
+      ("pid", Jsonw.int 1);
+      ("tid", Jsonw.int 1);
+      ("ts", Jsonw.Float e.ts_us);
+    ]
+  in
+  let phase =
+    match e.ph with
+    | `Complete -> [ ("ph", Jsonw.Str "X"); ("dur", Jsonw.Float e.dur_us) ]
+    | `Instant -> [ ("ph", Jsonw.Str "i"); ("s", Jsonw.Str "t") ]
+  in
+  let args =
+    match e.args with
+    | [] -> []
+    | kvs -> [ ("args", Jsonw.Obj (List.map (fun (k, v) -> (k, Jsonw.Str v)) kvs)) ]
+  in
+  Jsonw.Obj (base @ phase @ args)
+
+let export_json () =
+  Jsonw.to_string
+    (Jsonw.Obj
+       [
+         ("traceEvents", Jsonw.List (List.rev_map event_json !events));
+         ("displayTimeUnit", Jsonw.Str "ms");
+       ])
+
+let write file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (export_json ()))

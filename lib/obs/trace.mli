@@ -1,0 +1,54 @@
+(** A span-based tracer for the whole toolchain.
+
+    One global tracer collects begin/end spans (nestable, with string
+    key/value attributes) and instant events, timestamped on the
+    monotonic {!Clock}.  The driver opens a span around every pipeline
+    stage (compile → train → diversify → link → simulate) and the bench
+    harness around every experiment; [minicc --trace=FILE] and
+    [bench --trace=FILE] export the collected events in Chrome
+    trace-event JSON (load it in [chrome://tracing] or Perfetto).
+
+    Tracing is {e disabled} by default and near-zero cost while disabled:
+    {!begin_span}/{!end_span}/{!instant} test one boolean and return.
+    The tracer is deliberately global — spans are opened many layers
+    apart (driver, pass manager, simulator, bench runner) and threading a
+    handle through every signature would dwarf the feature. *)
+
+type span
+(** An open span, returned by {!begin_span} and consumed by {!end_span}.
+    While the tracer is disabled, spans are inert placeholders. *)
+
+val enabled : unit -> bool
+
+val start : unit -> unit
+(** Enable collection, dropping any previously collected events. *)
+
+val stop : unit -> unit
+(** Disable collection.  Collected events are kept for {!export_json}. *)
+
+val reset : unit -> unit
+(** Disable and drop everything. *)
+
+val begin_span : ?cat:string -> ?args:(string * string) list -> string -> span
+(** Open a span named [name] with optional category and attributes. *)
+
+val end_span : ?args:(string * string) list -> span -> unit
+(** Close a span; [args] are merged with those given at {!begin_span}. *)
+
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span; the span is closed even if
+    [f] raises. *)
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+(** A zero-duration marker event. *)
+
+val event_count : unit -> int
+(** Number of collected events (completed spans + instants). *)
+
+val export_json : unit -> string
+(** The collected events as a Chrome trace-event JSON object
+    ([{"traceEvents": [...]}]), timestamps in microseconds. *)
+
+val write : string -> unit
+(** [write file] saves {!export_json} to [file]. *)

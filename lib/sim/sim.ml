@@ -1,3 +1,9 @@
+type exec_profile = {
+  insn_counts : int64 array;
+  nop_counts : int64 array;
+  cycle_counts : float array;
+}
+
 type result = {
   status : int32;
   output : string;
@@ -5,11 +11,17 @@ type result = {
   nops_retired : int64;
   cycles : float;
   icache_misses : int64;
+  exec_profile : exec_profile option;
 }
 
 exception Fault of string
 
-let fault fmt = Format.kasprintf (fun s -> raise (Fault s)) fmt
+let fault fmt =
+  Format.kasprintf
+    (fun s ->
+      Metrics.incr (Metrics.counter "sim.faults");
+      raise (Fault s))
+    fmt
 
 type state = {
   regs : int32 array; (* indexed by Reg.encode *)
@@ -32,6 +44,7 @@ type state = {
   mutable running : bool;
   mutable status : int32;
   fuel : int64;
+  prof : exec_profile option;  (* per-text-offset execution counters *)
 }
 
 let data_base_i = Int32.to_int Link.data_base
@@ -363,15 +376,39 @@ let exec_insn st (i : Insn.t) len =
       st.status <- reg_get st Reg.EAX
 
 let step st =
+  let off = st.eip in
+  let c0 = st.cycles in
   let i, len = fetch st in
   icache_access st len;
   st.instructions <- Int64.add st.instructions 1L;
   if st.instructions > st.fuel then fault "fuel exhausted";
-  if Nops.is_candidate i then st.nops <- Int64.add st.nops 1L;
+  let is_nop = Nops.is_candidate i in
+  if is_nop then st.nops <- Int64.add st.nops 1L;
   st.cycles <- st.cycles +. Timing.insn_cost st.model i;
+  (match st.prof with
+  | None -> ()
+  | Some p ->
+      (* Attribute the retired instruction, candidate-NOP status and the
+         cycles charged during this step (base cost plus any icache miss
+         penalty) to the fetched offset. *)
+      p.insn_counts.(off) <- Int64.add p.insn_counts.(off) 1L;
+      if is_nop then p.nop_counts.(off) <- Int64.add p.nop_counts.(off) 1L;
+      p.cycle_counts.(off) <- p.cycle_counts.(off) +. (st.cycles -. c0));
   exec_insn st i len
 
-let make_state ?(model = Timing.default) ~fuel (image : Link.image) =
+let make_state ?(model = Timing.default) ?(profile = false) ~fuel
+    (image : Link.image) =
+  let prof =
+    if not profile then None
+    else
+      let n = max 1 (String.length image.text) in
+      Some
+        {
+          insn_counts = Array.make n 0L;
+          nop_counts = Array.make n 0L;
+          cycle_counts = Array.make n 0.0;
+        }
+  in
   {
     regs = Array.make 8 0l;
     zf = false;
@@ -393,6 +430,7 @@ let make_state ?(model = Timing.default) ~fuel (image : Link.image) =
     running = true;
     status = 0l;
     fuel;
+    prof;
   }
 
 let init_data st (image : Link.image) =
@@ -403,6 +441,10 @@ let init_data st (image : Link.image) =
     image.data_init
 
 let finish st =
+  Metrics.incr (Metrics.counter "sim.runs");
+  Metrics.incr ~by:st.instructions (Metrics.counter "sim.instructions");
+  Metrics.incr ~by:st.nops (Metrics.counter "sim.nops_retired");
+  Metrics.incr ~by:st.misses (Metrics.counter "sim.icache_misses");
   {
     status = st.status;
     output = Buffer.contents st.out;
@@ -410,16 +452,18 @@ let finish st =
     nops_retired = st.nops;
     cycles = st.cycles;
     icache_misses = st.misses;
+    exec_profile = st.prof;
   }
 
-let run ?model ?(fuel = Int64.shift_left 1L 40) (image : Link.image) ~args =
+let run ?model ?(fuel = Int64.shift_left 1L 40) ?profile (image : Link.image)
+    ~args =
   if List.length args > Libc.argv_words then
     invalid_arg "Sim.run: too many arguments";
   if List.length args <> image.main_arity then
     invalid_arg
       (Printf.sprintf "Sim.run: main expects %d args, got %d" image.main_arity
          (List.length args));
-  let st = make_state ?model ~fuel image in
+  let st = make_state ?model ?profile ~fuel image in
   init_data st image;
   (* Write the arguments where the entry stub looks for them. *)
   let argv = Int32.to_int (Link.argv_address image) lsr 2 in
@@ -430,11 +474,11 @@ let run ?model ?(fuel = Int64.shift_left 1L 40) (image : Link.image) ~args =
   done;
   finish st
 
-let run_at ?model ?(fuel = Int64.shift_left 1L 40) ?(stack_image = [])
-    (image : Link.image) ~start_offset =
+let run_at ?model ?(fuel = Int64.shift_left 1L 40) ?profile
+    ?(stack_image = []) (image : Link.image) ~start_offset =
   if start_offset < 0 || start_offset >= String.length image.text then
     invalid_arg "Sim.run_at: start offset outside text";
-  let st = make_state ?model ~fuel image in
+  let st = make_state ?model ?profile ~fuel image in
   init_data st image;
   let esp = Int32.sub Link.stack_top (Int32.of_int (16 + (4 * List.length stack_image))) in
   reg_set st Reg.ESP esp;

@@ -12,6 +12,20 @@
     Decoded instructions are memoized per text offset, so hot loops
     execute without re-decoding. *)
 
+type exec_profile = {
+  insn_counts : int64 array;
+      (** per text offset: instructions retired from that offset *)
+  nop_counts : int64 array;
+      (** per text offset: how many of those were Table-1 NOP candidates *)
+  cycle_counts : float array;
+      (** per text offset: modeled cycles charged there, icache miss
+          penalties included *)
+}
+(** A runtime execution profile, indexed by text offset (the arrays have
+    one slot per byte of [.text]; only instruction-start offsets are
+    nonzero).  {!Simprof} maps it back through the image's layout symbols
+    to per-function and per-block attributions. *)
+
 type result = {
   status : int32;  (** exit status (main's return value) *)
   output : string;
@@ -19,6 +33,8 @@ type result = {
   nops_retired : int64;  (** how many were Table-1 NOP candidates *)
   cycles : float;  (** modeled time *)
   icache_misses : int64;
+  exec_profile : exec_profile option;
+      (** present iff the run was started with [~profile:true] *)
 }
 
 exception Fault of string
@@ -29,17 +45,22 @@ exception Fault of string
 val run :
   ?model:Timing.model ->
   ?fuel:int64 ->
+  ?profile:bool ->
   Link.image ->
   args:int32 list ->
   result
 (** Execute from the image's entry stub until the exit syscall.  [args]
     are written to the [__argv] array before execution (they are the
     arguments of [main]); at most {!Libc.argv_words} are allowed.
-    Default [fuel] is [2^40] instructions. *)
+    Default [fuel] is [2^40] instructions.  [profile] (default [false])
+    collects a per-offset {!exec_profile}; the hook costs three array
+    writes per retired instruction when on and one [option] test when
+    off. *)
 
 val run_at :
   ?model:Timing.model ->
   ?fuel:int64 ->
+  ?profile:bool ->
   ?stack_image:int32 list ->
   Link.image ->
   start_offset:int ->

@@ -47,7 +47,8 @@ val name : t -> string
 val verify_each : t -> bool
 
 val timed : (unit -> 'a) -> 'a * float
-(** Run a thunk and measure its wall time. *)
+(** Run a thunk and measure its wall time on the monotonic {!Clock}, so
+    the result is never negative even if the system clock steps. *)
 
 val record : t -> stat -> unit
 

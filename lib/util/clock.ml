@@ -1,0 +1,13 @@
+(* Monotonicized wall clock.  [Unix.gettimeofday] can step backwards
+   under clock adjustment; we clamp to the largest value seen so far, so
+   the reading is non-decreasing within the process. *)
+
+let start = Unix.gettimeofday ()
+let last = ref 0.0
+
+let now_s () =
+  let t = Unix.gettimeofday () -. start in
+  if t > !last then last := t;
+  !last
+
+let elapsed_s t0 = Float.max 0.0 (now_s () -. t0)

@@ -1,0 +1,15 @@
+(** A monotonic process clock.
+
+    The stdlib offers no monotonic wall clock, so this module
+    monotonicizes [Unix.gettimeofday]: {!now_s} never goes backwards even
+    if the system clock is stepped (NTP adjustment, manual change).  All
+    instrumentation — {!Cctx.timed}, the {!Trace} spans, metric
+    timestamps — reads time through here, so recorded durations can never
+    be negative. *)
+
+val now_s : unit -> float
+(** Seconds since the process started, non-decreasing.  Successive calls
+    [t1 = now_s (); t2 = now_s ()] always satisfy [t2 >= t1]. *)
+
+val elapsed_s : float -> float
+(** [elapsed_s t0] is [now_s () -. t0], clamped to be non-negative. *)
