@@ -9,7 +9,7 @@
      dune exec bench/main.exe -- --trace bench.trace telemetry
 
    Experiments: table1 figure4 table2 table3 php-attack heuristic
-   ablation micro telemetry.  The telemetry experiment writes the
+   ablation micro fuzz-coverage telemetry.  The telemetry experiment writes the
    machine-readable report (default BENCH_PR2.json, see --out). *)
 
 let experiments =
@@ -22,6 +22,7 @@ let experiments =
     ("php-attack", Exp_php.run);
     ("ablation", Exp_ablation.run);
     ("micro", Exp_micro.run);
+    ("fuzz-coverage", Exp_fuzz.run);
     ("telemetry", Exp_telemetry.run);
   ]
 

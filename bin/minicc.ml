@@ -223,9 +223,13 @@ let run_cmd =
     with_trace trace (fun () ->
         let image = Link.load binary in
         let r =
-          Driver.run_image image
-            ~profile:(sim_profile <> None)
-            ~args:(parse_args args)
+          try
+            Driver.run_image image
+              ~profile:(sim_profile <> None)
+              ~args:(parse_args args)
+          with Sim.Fault msg ->
+            Format.eprintf "minicc: fault: %s@." msg;
+            exit 1
         in
         print_string r.Sim.output;
         Format.printf "[status %ld, %Ld instructions, %.0f cycles]@."
@@ -416,6 +420,71 @@ let workload_cmd =
     (Cmd.info "workload" ~doc:"Run a benchmark-suite program by name.")
     Term.(const run $ name_arg $ ref_arg $ sim_profile_arg $ trace_arg)
 
+let fuzz_cmd =
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Number of programs to generate.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int64 1L
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Campaign seed. The whole campaign — programs, verdicts, \
+             reproducers — is a pure function of it.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "Minimize each divergence by delta-debugging the generator's \
+             decision trace before reporting it.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Write $(b,<name>.repro.mc) reproducer files to $(docv).")
+  in
+  let versions_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "versions" ] ~docv:"N"
+          ~doc:"Diversified versions per configuration (default 3).")
+  in
+  let run count seed shrink out_dir versions trace =
+    with_trace trace (fun () ->
+        let log line = Format.eprintf "fuzz: %s@." line in
+        let campaign =
+          Fuzz.run ~versions ~shrink ?out_dir ~log ~seed ~count ()
+        in
+        Format.printf
+          "fuzz: %d programs, %d executions, %d skips (documented \
+           asymmetries), %d divergences@."
+          campaign.Fuzz.checked campaign.Fuzz.runs campaign.Fuzz.skips
+          (List.length campaign.Fuzz.findings);
+        List.iter
+          (fun (f : Fuzz.finding) ->
+            match f.Fuzz.report.Oracle.divergence with
+            | Some d ->
+                Format.printf "DIVERGENCE %s: %s vs %s — %s@."
+                  f.Fuzz.report.Oracle.program.Gen.name d.Oracle.left
+                  d.Oracle.right d.Oracle.detail
+            | None -> ())
+          campaign.Fuzz.findings;
+        if campaign.Fuzz.findings <> [] then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the toolchain: random MiniC programs checked \
+          across interpreter, simulator and diversified variants.")
+    Term.(
+      const run $ count_arg $ seed_arg $ shrink_arg $ out_arg $ versions_arg
+      $ trace_arg)
+
 let () =
   let doc = "profile-guided software diversity compiler (CGO'13 reproduction)" in
   let info = Cmd.info "minicc" ~version:"1.0" ~doc in
@@ -424,5 +493,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; run_cmd; profile_cmd; diversify_cmd; gadgets_cmd;
-            survivor_cmd; attack_cmd; disas_cmd; workload_cmd;
+            survivor_cmd; attack_cmd; disas_cmd; workload_cmd; fuzz_cmd;
           ]))

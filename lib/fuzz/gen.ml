@@ -1,0 +1,534 @@
+type t = {
+  name : string;
+  seed : int64;
+  index : int;
+  source : string;
+  args : int32 list;
+  trace : int array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Generation context.  Scoping is tracked exactly as Sema checks it:
+   [scalars] are assignable variables, [ro] are readable-only names
+   (loop counters and recursion-depth parameters — assigning one could
+   break the termination argument), [arrays] are indexable names with
+   their (power-of-two) sizes.  Every name comes from one program-wide
+   counter, so shadowing and redeclaration are impossible by
+   construction. *)
+
+type loop_ctx = No_loop | For_loop | While_loop
+
+type ctx = {
+  tape : Tape.t;
+  buf : Buffer.t;
+  mutable indent : int;
+  mutable fresh : int;
+  mutable callees : (string * int * bool) list;
+      (* callable from here: name, user arity, recursive (takes a leading
+         depth argument) *)
+  mutable scalars : string list;
+  mutable ro : string list;
+  mutable arrays : (string * int) list;
+  mutable self : (string * string * int) option;
+      (* inside a recursive function: (name, depth parameter, user arity) *)
+  mutable loop : loop_ctx;
+}
+
+let draw ctx n = Tape.draw ctx.tape n
+
+let fresh ctx prefix =
+  let n = ctx.fresh in
+  ctx.fresh <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+let line ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ctx.buf (String.make (2 * ctx.indent) ' ');
+      Buffer.add_string ctx.buf s;
+      Buffer.add_char ctx.buf '\n')
+    fmt
+
+(* Array sizes are powers of two so that [e & (size - 1)] is an in-bounds
+   index for every value of [e]: in-bounds accesses are the generator's
+   invariant (out-of-bounds ones are hazards, produced only far outside
+   the 4 MiB address space where interpreter and simulator agree — see
+   the trap-parity notes in DESIGN.md). *)
+let array_sizes = [| 4; 8; 16 |]
+
+let interesting =
+  [|
+    0l; 1l; 2l; 3l; 4l; 5l; 7l; 8l; 15l; 16l; 31l; 32l; 63l; 100l; 255l;
+    256l; 1000l; 4096l; 65535l; 1000000l; Int32.max_int; Int32.min_int;
+    -1l; -2l; -8l; -100l;
+  |]
+
+let lit (v : int32) =
+  if Int32.equal v Int32.min_int then "(0 - 2147483647 - 1)"
+  else if Int32.compare v 0l < 0 then
+    Printf.sprintf "(0 - %ld)" (Int32.neg v)
+  else Int32.to_string v
+
+let pick ctx l = List.nth l (draw ctx (List.length l))
+
+let readable ctx = ctx.scalars @ ctx.ro
+
+(* ------------------------------------------------------------------ *)
+(* Expressions.  Choice 0 is a constant and constant 0 is interesting.(0),
+   so an all-zero tape bottoms out immediately. *)
+
+let arith_ops = [| "+"; "-"; "*"; "&"; "|"; "^"; "<<"; ">>" |]
+let rel_ops = [| "=="; "!="; "<"; "<="; ">"; ">=" |]
+let div_consts = [| "2"; "3"; "5"; "7"; "16"; "100" |]
+
+let rec expr ctx depth =
+  let choices = if depth <= 0 then 2 else 10 in
+  match draw ctx choices with
+  | 0 -> lit interesting.(draw ctx (Array.length interesting))
+  | 1 -> (
+      match readable ctx with
+      | [] -> lit interesting.(draw ctx (Array.length interesting))
+      | l -> pick ctx l)
+  | 2 -> (
+      match ctx.arrays with
+      | [] -> expr ctx 0
+      | l ->
+          let a, size = pick ctx l in
+          Printf.sprintf "%s[(%s) & %d]" a (expr ctx (depth - 1)) (size - 1))
+  | 3 | 4 ->
+      let op = arith_ops.(draw ctx (Array.length arith_ops)) in
+      Printf.sprintf "(%s %s %s)" (expr ctx (depth - 1)) op
+        (expr ctx (depth - 1))
+  | 5 ->
+      (* Division and remainder with a guaranteed non-zero, non-minus-one
+         divisor: negative dividends, truncation and sign edge cases are
+         exercised without trapping.  Trapping division is a hazard. *)
+      let op = if draw ctx 2 = 0 then "/" else "%" in
+      let divisor =
+        if draw ctx 2 = 0 then
+          Printf.sprintf "((%s & 15) + 1)" (expr ctx (depth - 1))
+        else div_consts.(draw ctx (Array.length div_consts))
+      in
+      Printf.sprintf "(%s %s %s)" (expr ctx (depth - 1)) op divisor
+  | 6 ->
+      let op = rel_ops.(draw ctx (Array.length rel_ops)) in
+      Printf.sprintf "(%s %s %s)" (expr ctx (depth - 1)) op
+        (expr ctx (depth - 1))
+  | 7 -> (
+      match draw ctx 3 with
+      | 0 ->
+          Printf.sprintf "(%s && %s)" (expr ctx (depth - 1))
+            (expr ctx (depth - 1))
+      | 1 ->
+          Printf.sprintf "(%s || %s)" (expr ctx (depth - 1))
+            (expr ctx (depth - 1))
+      | _ -> Printf.sprintf "(!%s)" (expr ctx (depth - 1)))
+  | 8 ->
+      if draw ctx 2 = 0 then Printf.sprintf "(-%s)" (expr ctx (depth - 1))
+      else Printf.sprintf "(~%s)" (expr ctx (depth - 1))
+  | _ -> (
+      match call ctx depth with
+      | Some c -> c
+      | None -> expr ctx (depth - 1))
+
+(* A call to an earlier function, or to the enclosing recursive function.
+   Recursion terminates because a self-call always passes [depth - 1] and
+   every recursive body opens with an [if (depth < 1) return ...;]
+   guard; calls from the outside pass a small constant. *)
+and call ctx depth =
+  let self =
+    match ctx.self with Some s -> [ s ] | None -> []
+  in
+  let n_ext = List.length ctx.callees and n_self = List.length self in
+  if n_ext + n_self = 0 then None
+  else
+    let i = draw ctx (n_ext + n_self) in
+    if i < n_ext then begin
+      let name, uarity, isrec = List.nth ctx.callees i in
+      let args = List.init uarity (fun _ -> expr ctx (depth - 1)) in
+      let args =
+        if isrec then string_of_int (draw ctx 5) :: args else args
+      in
+      Some (Printf.sprintf "%s(%s)" name (String.concat ", " args))
+    end
+    else
+      let name, dparam, uarity = List.hd self in
+      let uargs = List.init uarity (fun _ -> expr ctx (depth - 1)) in
+      Some
+        (Printf.sprintf "%s((%s - 1), %s)" name dparam
+           (String.concat ", " uargs))
+
+(* ------------------------------------------------------------------ *)
+(* Statements.  Every loop has a constant trip bound and a counter no
+   statement may assign (it is in [ro]), so all loops terminate;
+   [continue] is emitted only inside [for] bodies, where the step still
+   runs (C semantics) — inside a generated [while] it would skip the
+   manual counter increment. *)
+
+(* Stack arrays must be filled before anything can read them: in the
+   machine, a fresh frame's slots hold whatever an earlier call left on
+   the stack, while the interpreter carves slots from untouched memory —
+   an uninitialized read is exactly the kind of underspecified behaviour
+   differential testing must not generate (found by this fuzzer's own
+   first campaign). *)
+let decl_array ctx =
+  let name = fresh ctx "a" in
+  let size = array_sizes.(draw ctx (Array.length array_sizes)) in
+  let z = fresh ctx "z" in
+  line ctx "int %s[%d];" name size;
+  line ctx "for (int %s = 0; %s < %d; %s = %s + 1) %s[%s] = 0;" z z size z z
+    name z;
+  ctx.arrays <- (name, size) :: ctx.arrays
+
+let rec stmt ctx depth =
+  let choices = if depth <= 0 then 5 else 9 in
+  match draw ctx choices with
+  | 0 ->
+      let name = fresh ctx "x" in
+      line ctx "int %s = %s;" name (expr ctx 2);
+      ctx.scalars <- name :: ctx.scalars
+  | 1 -> (
+      match ctx.scalars with
+      | [] ->
+          let name = fresh ctx "x" in
+          line ctx "int %s = %s;" name (expr ctx 2);
+          ctx.scalars <- name :: ctx.scalars
+      | l -> line ctx "%s = %s;" (pick ctx l) (expr ctx 2))
+  | 2 -> (
+      match ctx.arrays with
+      | [] -> decl_array ctx
+      | l ->
+          let a, size = pick ctx l in
+          line ctx "%s[(%s) & %d] = %s;" a (expr ctx 1) (size - 1)
+            (expr ctx 2))
+  | 3 ->
+      if draw ctx 2 = 0 then line ctx "print_int(%s);" (expr ctx 2)
+      else line ctx "put_char(((%s) & 63) + 32);" (expr ctx 1)
+  | 4 -> (
+      match call ctx 2 with
+      | Some c -> line ctx "%s;" c
+      | None -> line ctx "print_int(%s);" (expr ctx 1))
+  | 5 ->
+      line ctx "if (%s) {" (expr ctx 2);
+      scoped_block ctx (depth - 1);
+      if draw ctx 2 = 1 then begin
+        line ctx "} else {";
+        scoped_block ctx (depth - 1)
+      end;
+      line ctx "}"
+  | 6 ->
+      let ctr = fresh ctx "i" in
+      (* Small constant trip bounds: loops nest and multiply through
+         helper calls, and the oracle runs every program ~50 times — the
+         bound caps total dynamic work, not expressiveness. *)
+      let bound = 1 + draw ctx 4 in
+      let saved = (ctx.scalars, ctx.ro, ctx.arrays, ctx.loop) in
+      ctx.ro <- ctr :: ctx.ro;
+      ctx.loop <- For_loop;
+      line ctx "for (int %s = 0; %s < %d; %s = %s + 1) {" ctr ctr bound ctr
+        ctr;
+      block_body ctx (depth - 1);
+      line ctx "}";
+      let s, r, a, lp = saved in
+      ctx.scalars <- s;
+      ctx.ro <- r;
+      ctx.arrays <- a;
+      ctx.loop <- lp
+  | 7 ->
+      let ctr = fresh ctx "w" in
+      (* Small constant trip bounds: loops nest and multiply through
+         helper calls, and the oracle runs every program ~50 times — the
+         bound caps total dynamic work, not expressiveness. *)
+      let bound = 1 + draw ctx 4 in
+      line ctx "int %s = 0;" ctr;
+      ctx.ro <- ctr :: ctx.ro;
+      let saved = (ctx.scalars, ctx.ro, ctx.arrays, ctx.loop) in
+      ctx.loop <- While_loop;
+      line ctx "while (%s < %d) {" ctr bound;
+      ctx.indent <- ctx.indent + 1;
+      let inner = (ctx.scalars, ctx.ro, ctx.arrays) in
+      let budget = 1 + draw ctx 3 in
+      for _ = 1 to budget do
+        stmt ctx (depth - 1)
+      done;
+      let s3, r3, a3 = inner in
+      ctx.scalars <- s3;
+      ctx.ro <- r3;
+      ctx.arrays <- a3;
+      line ctx "%s = %s + 1;" ctr ctr;
+      ctx.indent <- ctx.indent - 1;
+      line ctx "}";
+      let s, r, a, lp = saved in
+      ctx.scalars <- s;
+      ctx.ro <- r;
+      ctx.arrays <- a;
+      ctx.loop <- lp
+  | _ -> (
+      (* Early exit from the innermost loop; guarded so the loop still
+         makes progress on other iterations. *)
+      match ctx.loop with
+      | No_loop -> line ctx "print_int(%s);" (expr ctx 1)
+      | For_loop ->
+          let kw = if draw ctx 2 = 0 then "break" else "continue" in
+          line ctx "if (%s) %s;" (expr ctx 1) kw
+      | While_loop -> line ctx "if (%s) break;" (expr ctx 1))
+
+and scoped_block ctx depth =
+  ctx.indent <- ctx.indent + 1;
+  let saved = (ctx.scalars, ctx.ro, ctx.arrays) in
+  let budget = 1 + draw ctx 3 in
+  for _ = 1 to budget do
+    stmt ctx depth
+  done;
+  let s, r, a = saved in
+  ctx.scalars <- s;
+  ctx.ro <- r;
+  ctx.arrays <- a;
+  ctx.indent <- ctx.indent - 1
+
+and block_body ctx depth =
+  ctx.indent <- ctx.indent + 1;
+  let saved = (ctx.scalars, ctx.ro, ctx.arrays) in
+  let budget = 1 + draw ctx 3 in
+  for _ = 1 to budget do
+    stmt ctx depth
+  done;
+  let s, r, a = saved in
+  ctx.scalars <- s;
+  ctx.ro <- r;
+  ctx.arrays <- a;
+  ctx.indent <- ctx.indent - 1
+
+(* ------------------------------------------------------------------ *)
+(* Hazards: constructs that may legitimately trap.  Drawn first so the
+   very front of the tape decides the program's shape.  Each hazard is
+   designed so the interpreter and the simulator reach the *same*
+   trap/no-trap verdict (see trap parity in DESIGN.md): divisions trap on
+   the same operands, out-of-bounds accesses overshoot the entire 4 MiB
+   address space (where both memory models are unmapped), and runaway
+   recursion exhausts the interpreter's call-depth budget and the
+   simulator's machine stack. *)
+
+type hazard = H_none | H_div | H_rem | H_oob_read | H_oob_write | H_recurse
+
+let draw_hazard ctx =
+  if draw ctx 8 <> 7 then H_none
+  else
+    match draw ctx 5 with
+    | 0 -> H_div
+    | 1 -> H_rem
+    | 2 -> H_oob_read
+    | 3 -> H_oob_write
+    | _ -> H_recurse
+
+let hazard_globals ctx = function
+  | H_oob_read | H_oob_write ->
+      line ctx "global int hzg[4];";
+      [ ("hzg", 4) ]
+  | _ -> []
+
+let hazard_funcs ctx = function
+  | H_recurse ->
+      (* The local array makes each machine frame fat, so the simulator
+         runs out of stack after a few thousand frames instead of half a
+         million; the interpreter hits its call-depth bound first.  Both
+         executions trap. *)
+      line ctx "int runaway(int x) {";
+      line ctx "  int pad[64];";
+      line ctx "  pad[x & 63] = x;";
+      line ctx "  return runaway(x + 1) + pad[0];";
+      line ctx "}";
+      line ctx ""
+  | _ -> ()
+
+let hazard_stmt ctx = function
+  | H_none -> ()
+  | H_div ->
+      let name = fresh ctx "hz" in
+      line ctx "int %s = (%s) / (%s);" name (expr ctx 2) (expr ctx 2);
+      line ctx "print_int(%s);" name
+  | H_rem ->
+      let name = fresh ctx "hz" in
+      line ctx "int %s = (%s) %% (%s);" name (expr ctx 2) (expr ctx 2);
+      line ctx "print_int(%s);" name
+  | H_oob_read ->
+      line ctx "print_int(hzg[2000000 + ((%s) & 65535)]);" (expr ctx 1)
+  | H_oob_write ->
+      line ctx "hzg[0 - (4096 + ((%s) & 1023))] = 7;" (expr ctx 1)
+  | H_recurse -> line ctx "print_int(runaway(0));"
+
+(* ------------------------------------------------------------------ *)
+(* Top-level program shape. *)
+
+let gen_globals ctx =
+  let n = draw ctx 4 in
+  let globals = ref [] in
+  for _ = 1 to n do
+    let name = fresh ctx "g" in
+    match draw ctx 3 with
+    | 0 ->
+        line ctx "global int %s;" name;
+        globals := `Scalar name :: !globals
+    | 1 ->
+        let size = array_sizes.(draw ctx (Array.length array_sizes)) in
+        line ctx "global int %s[%d];" name size;
+        globals := `Array (name, size) :: !globals
+    | _ ->
+        let size = array_sizes.(draw ctx (Array.length array_sizes)) in
+        let n_init = 1 + draw ctx size in
+        let vals =
+          List.init n_init (fun _ -> string_of_int (draw ctx 256))
+        in
+        line ctx "global int %s[%d] = {%s};" name size
+          (String.concat ", " vals);
+        globals := `Array (name, size) :: !globals
+  done;
+  List.rev !globals
+
+(* Reset per-function scope state: globals are visible everywhere. *)
+let enter_function ctx globals ~params ~ro =
+  ctx.scalars <-
+    params
+    @ List.filter_map (function `Scalar g -> Some g | _ -> None) globals;
+  ctx.ro <- ro;
+  ctx.arrays <-
+    List.filter_map (function `Array ga -> Some ga | _ -> None) globals;
+  ctx.loop <- No_loop
+
+let gen_helper ctx globals i =
+  let name = Printf.sprintf "f%d" i in
+  let recursive = draw ctx 4 = 3 in
+  let uarity = 1 + draw ctx 2 in
+  let params = List.init uarity (fun _ -> fresh ctx "p") in
+  if recursive then begin
+    let dparam = fresh ctx "d" in
+    line ctx "int %s(int %s, %s) {" name dparam
+      (String.concat ", " (List.map (fun p -> "int " ^ p) params));
+    ctx.indent <- ctx.indent + 1;
+    enter_function ctx globals ~params ~ro:[ dparam ];
+    (* Base case first: no self-calls are reachable at depth < 1. *)
+    ctx.self <- None;
+    line ctx "if (%s < 1) {" dparam;
+    ctx.indent <- ctx.indent + 1;
+    line ctx "return %s;" (expr ctx 2);
+    ctx.indent <- ctx.indent - 1;
+    line ctx "}";
+    ctx.self <- Some (name, dparam, uarity);
+    let budget = 1 + draw ctx 4 in
+    for _ = 1 to budget do
+      stmt ctx 2
+    done;
+    line ctx "return %s;" (expr ctx 2);
+    ctx.self <- None;
+    ctx.indent <- ctx.indent - 1;
+    line ctx "}";
+    line ctx ""
+  end
+  else begin
+    line ctx "int %s(%s) {" name
+      (String.concat ", " (List.map (fun p -> "int " ^ p) params));
+    ctx.indent <- ctx.indent + 1;
+    enter_function ctx globals ~params ~ro:[];
+    let budget = 1 + draw ctx 4 in
+    for _ = 1 to budget do
+      stmt ctx 2
+    done;
+    line ctx "return %s;" (expr ctx 2);
+    ctx.indent <- ctx.indent - 1;
+    line ctx "}";
+    line ctx ""
+  end;
+  ctx.callees <- ctx.callees @ [ (name, uarity, recursive) ];
+  ()
+
+let gen_main ctx globals hazard =
+  let arity = 1 + draw ctx 2 in
+  let params = List.init arity (fun _ -> fresh ctx "m") in
+  line ctx "int main(%s) {"
+    (String.concat ", " (List.map (fun p -> "int " ^ p) params));
+  ctx.indent <- ctx.indent + 1;
+  enter_function ctx globals ~params ~ro:[];
+  let budget = 3 + draw ctx 5 in
+  for _ = 1 to budget do
+    stmt ctx 2
+  done;
+  hazard_stmt ctx hazard;
+  (* Checksum epilogue: observe every global so stores anywhere in the
+     program reach the output. *)
+  List.iter
+    (function
+      | `Scalar g -> line ctx "print_int(%s);" g
+      | `Array (g, size) ->
+          line ctx "print_int(%s[0] + %s[%d] + %s[%d]);" g g (size / 2) g
+            (size - 1))
+    globals;
+  line ctx "return (%s) & 127;" (expr ctx 2);
+  ctx.indent <- ctx.indent - 1;
+  line ctx "}";
+  arity
+
+let draw_args ctx arity =
+  List.init arity (fun _ ->
+      let v = draw ctx 201 in
+      Int32.of_int (if v <= 100 then v else 100 - v))
+
+let build tape =
+  let ctx =
+    {
+      tape;
+      buf = Buffer.create 1024;
+      indent = 0;
+      fresh = 0;
+      callees = [];
+      scalars = [];
+      ro = [];
+      arrays = [];
+      self = None;
+      loop = No_loop;
+    }
+  in
+  let hazard = draw_hazard ctx in
+  let globals = gen_globals ctx in
+  let hz_globals = hazard_globals ctx hazard in
+  let globals =
+    globals @ List.map (fun ga -> `Array ga) hz_globals
+  in
+  if globals <> [] then line ctx "";
+  hazard_funcs ctx hazard;
+  (* [runaway] is reachable only through the hazard statement, never from
+     generated expression calls — [ctx.callees] does not list it. *)
+  let n_helpers = draw ctx 3 in
+  for i = 0 to n_helpers - 1 do
+    gen_helper ctx globals i
+  done;
+  let arity = gen_main ctx globals hazard in
+  let args = draw_args ctx arity in
+  (Buffer.contents ctx.buf, args)
+
+let generate ~seed ~index =
+  let rng = Rng.of_labels seed [ "fuzz"; string_of_int index ] in
+  let tape = Tape.fresh rng in
+  let source, args = build tape in
+  {
+    name = Printf.sprintf "fuzz-s%Ld-i%d" seed index;
+    seed;
+    index;
+    source;
+    args;
+    trace = Tape.recorded tape;
+  }
+
+let of_trace ~seed ~index ~trace =
+  let tape = Tape.replay trace in
+  let source, args = build tape in
+  {
+    name = Printf.sprintf "fuzz-s%Ld-i%d" seed index;
+    seed;
+    index;
+    source;
+    args;
+    trace = Tape.recorded tape;
+  }
+
+let of_source ~name ~args source =
+  { name; seed = 0L; index = -1; source; args; trace = [||] }

@@ -1,0 +1,39 @@
+(** Seeded random MiniC program generator.
+
+    Every generated program is well-typed (it satisfies [Sema.check]) and
+    terminates under fuel: loops carry constant trip bounds with counters
+    no statement may assign, helper functions form a DAG, and
+    self-recursion is guarded by a strictly decreasing depth parameter
+    with a base case emitted before any self-call is reachable.  The only
+    constructs that may trap are explicit {e hazards} (raw division or
+    remainder, far out-of-bounds accesses, runaway recursion), each built
+    so the interpreter and the simulator reach the same trap/no-trap
+    verdict — see the trap-parity notes in DESIGN.md.
+
+    Generation is driven by a {!Tape}, so a program is a pure function of
+    its decision trace: {!generate} and {!of_trace} with the recorded
+    trace produce byte-identical source.  Choice [0] is always the
+    simplest alternative, which is what makes {!Shrink} work. *)
+
+type t = {
+  name : string;  (** stable label, e.g. ["fuzz-s1-i42"] *)
+  seed : int64;  (** fuzzing seed the program was derived from *)
+  index : int;  (** index within the run (or [-1] for corpus programs) *)
+  source : string;  (** MiniC source text *)
+  args : int32 list;  (** arguments passed to [main] *)
+  trace : int array;  (** effective decision trace (see {!Tape}) *)
+}
+
+val generate : seed:int64 -> index:int -> t
+(** Generate program [index] of the run seeded by [seed].  Deterministic:
+    same seed and index always yield the same program. *)
+
+val of_trace : seed:int64 -> index:int -> trace:int array -> t
+(** Rebuild a program from an (edited) decision trace.  Out-of-range
+    decisions are clamped and missing ones default to the simplest
+    choice, so every trace yields a valid program; [trace] in the result
+    is the canonicalized effective trace. *)
+
+val of_source : name:string -> args:int32 list -> string -> t
+(** Wrap externally supplied MiniC source (e.g. a corpus regression file)
+    for the oracle.  The trace is empty; such programs cannot shrink. *)

@@ -1,0 +1,88 @@
+(* Greedy delta debugging over the generator's decision trace.
+
+   Rather than editing MiniC text (which would need its own parser-aware
+   reducers and could produce ill-formed programs), we shrink the *trace*
+   that produced the program: delete chunks and reduce individual
+   decisions toward 0, then regenerate through {!Gen.of_trace}.  Because
+   the tape clamps out-of-range values and pads with zeros, every edited
+   trace is a valid program, and because choice 0 is the generator's
+   simplest alternative everywhere, trace minimality translates to source
+   minimality.  An edit is kept iff the oracle still reports a
+   divergence. *)
+
+type result = {
+  original : Gen.t;
+  shrunk : Gen.t;
+  report : Oracle.report;  (** oracle report for the shrunk program *)
+  attempts : int;  (** oracle evaluations spent *)
+}
+
+let delete_chunk t start len =
+  Array.append (Array.sub t 0 start)
+    (Array.sub t (start + len) (Array.length t - start - len))
+
+let shrink ?levels ?configs ?versions ?(max_attempts = 400) (p0 : Gen.t)
+    (r0 : Oracle.report) =
+  (match r0.Oracle.divergence with
+  | None -> invalid_arg "Shrink.shrink: report has no divergence"
+  | Some _ -> ());
+  let attempts = ref 0 in
+  let best_p = ref p0 and best_r = ref r0 in
+  let try_accept trace =
+    if !attempts >= max_attempts then false
+    else begin
+      incr attempts;
+      let p = Gen.of_trace ~seed:p0.Gen.seed ~index:p0.Gen.index ~trace in
+      (* Regenerating can reproduce the current best (clamping is not
+         injective); skip the oracle when nothing changed. *)
+      if String.equal p.Gen.source (!best_p).Gen.source then false
+      else
+        let r = Oracle.check ?levels ?configs ?versions p in
+        match r.Oracle.divergence with
+        | Some _ ->
+            best_p := p;
+            best_r := r;
+            true
+        | None -> false
+    end
+  in
+  let budget_left () = !attempts < max_attempts in
+  (* One greedy pass: chunk deletion from coarse to fine, then pointwise
+     value reduction.  Returns whether anything was accepted. *)
+  let pass () =
+    let changed = ref false in
+    let size = ref (max 1 (Array.length (!best_p).Gen.trace / 2)) in
+    while !size >= 1 && budget_left () do
+      let pos = ref 0 in
+      while !pos < Array.length (!best_p).Gen.trace && budget_left () do
+        let t = (!best_p).Gen.trace in
+        let len = min !size (Array.length t - !pos) in
+        if len > 0 && try_accept (delete_chunk t !pos len) then
+          (* The suffix shifted into place — retry at the same position. *)
+          changed := true
+        else pos := !pos + !size
+      done;
+      size := !size / 2
+    done;
+    let i = ref 0 in
+    while !i < Array.length (!best_p).Gen.trace && budget_left () do
+      let t = (!best_p).Gen.trace in
+      let v = t.(!i) in
+      if v > 0 then begin
+        let try_value nv =
+          let t' = Array.copy t in
+          t'.(!i) <- nv;
+          try_accept t'
+        in
+        if try_value 0 || (v > 1 && try_value (v / 2)) || try_value (v - 1)
+        then changed := true
+      end;
+      incr i
+    done;
+    !changed
+  in
+  if Array.length p0.Gen.trace > 0 then
+    while pass () && budget_left () do
+      ()
+    done;
+  { original = p0; shrunk = !best_p; report = !best_r; attempts = !attempts }

@@ -1,0 +1,30 @@
+(** Greedy delta debugging over the generator's decision trace.
+
+    Shrinks a diverging program by editing the {!Tape} trace that
+    produced it — chunk deletion (coarse to fine) and pointwise value
+    reduction toward 0 — regenerating through {!Gen.of_trace} and keeping
+    an edit iff {!Oracle.check} still reports a divergence.  Every edited
+    trace yields a well-formed program (the tape clamps and pads), and
+    choice 0 is the generator's simplest alternative, so trace minimality
+    translates to source minimality.  Fully deterministic. *)
+
+type result = {
+  original : Gen.t;
+  shrunk : Gen.t;
+  report : Oracle.report;  (** oracle report for the shrunk program *)
+  attempts : int;  (** oracle evaluations spent *)
+}
+
+val shrink :
+  ?levels:Pipeline.level list ->
+  ?configs:(string * Config.t) list ->
+  ?versions:int ->
+  ?max_attempts:int ->
+  Gen.t ->
+  Oracle.report ->
+  result
+(** [shrink p report] minimizes [p], whose [report] must contain a
+    divergence ([Invalid_argument] otherwise).  The oracle options are
+    passed through to re-checks and should match the ones that produced
+    [report].  [max_attempts] (default 400) bounds oracle evaluations.
+    Corpus programs (empty trace) are returned unshrunk. *)

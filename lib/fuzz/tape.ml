@@ -1,0 +1,32 @@
+type source = Fresh of Rng.t | Replay of int array
+
+type t = {
+  source : source;
+  mutable rev : int list; (* effective draws, most recent first *)
+  mutable pos : int;
+}
+
+let fresh rng = { source = Fresh rng; rev = []; pos = 0 }
+let replay trace = { source = Replay trace; rev = []; pos = 0 }
+
+let draw t bound =
+  if bound <= 0 then invalid_arg "Tape.draw: bound must be positive";
+  let v =
+    match t.source with
+    | Fresh rng -> Rng.int rng bound
+    | Replay trace ->
+        if t.pos < Array.length trace then begin
+          (* Clamp a recorded value into the current bound: shrinker
+             edits (and draws past the end, below) must always yield a
+             valid decision, never an error. *)
+          let raw = trace.(t.pos) in
+          if raw < 0 then 0 else raw mod bound
+        end
+        else 0 (* past the end: the minimal choice *)
+  in
+  t.pos <- t.pos + 1;
+  t.rev <- v :: t.rev;
+  v
+
+let length t = t.pos
+let recorded t = Array.of_list (List.rev t.rev)

@@ -1,0 +1,32 @@
+(** The generator's decision tape.
+
+    Every random decision {!Gen} makes flows through one of these, so a
+    generated program is a pure function of the sequence of drawn values.
+    A [fresh] tape draws from the PRNG and records; a [replay] tape
+    re-issues a recorded (possibly shrinker-edited) sequence, clamping
+    each value into the bound it is drawn against and padding with zeros
+    past the end.  Because the generator is written so that the choice
+    [0] is always the {e simplest} alternative, truncating or zeroing the
+    tape shrinks the program — this is the decision-trace delta debugging
+    of {!Shrink}. *)
+
+type t
+
+val fresh : Rng.t -> t
+(** Draw new decisions from the generator and record them. *)
+
+val replay : int array -> t
+(** Re-issue a recorded sequence.  Out-of-range values are clamped into
+    the requested bound; draws past the end return 0.  The effective
+    (clamped) values are re-recorded, so {!recorded} canonicalizes an
+    edited tape. *)
+
+val draw : t -> int -> int
+(** [draw t bound] is the next decision, uniform in [\[0, bound)] on a
+    fresh tape.  [bound] must be positive. *)
+
+val length : t -> int
+(** Decisions drawn so far. *)
+
+val recorded : t -> int array
+(** The effective decision sequence, in draw order. *)

@@ -21,6 +21,16 @@ let bump tbl key =
    null-ish pointers trap, as on a real OS. *)
 let globals_base = 0x1000
 
+(* The linked image places the __argv array (Libc.argv_words = 8 words)
+   at the bottom of the data space, before the program's own globals.
+   Reserve and populate the same 8 words here so both executions agree on
+   every global's absolute address and on the contents of the argv area —
+   without this, an access that is out of bounds relative to one layout
+   can be silently in bounds relative to the other.  (psd_ir cannot
+   depend on psd_link, so the constant is duplicated; a test pins the two
+   together.) *)
+let argv_words = 8
+
 type state = {
   modul : Ir.modul;
   mem : int32 array; (* word-indexed *)
@@ -169,6 +179,8 @@ let rec call st fname (args : int32 list) =
 
 let run ?(fuel = Int64.shift_left 1L 40) ?(mem_words = 1 lsl 20) modul ~entry
     ~args =
+  if List.length args > argv_words then
+    invalid_arg "Interp.run: too many arguments";
   let counts =
     {
       blocks = Hashtbl.create 64;
@@ -190,9 +202,12 @@ let run ?(fuel = Int64.shift_left 1L 40) ?(mem_words = 1 lsl 20) modul ~entry
       fuel;
     }
   in
-  (* Lay out globals from the base, in declaration order, and copy
-     initializers. *)
-  let next = ref globals_base in
+  (* Mirror the machine image's data layout: the argv area first (holding
+     the entry arguments, exactly as the simulator writes them before
+     execution), then the globals in declaration order, with
+     initializers copied in. *)
+  List.iteri (fun i v -> st.mem.((globals_base lsr 2) + i) <- v) args;
+  let next = ref (globals_base + (4 * argv_words)) in
   List.iter
     (fun (g : Ir.global) ->
       Hashtbl.replace st.global_addrs g.gname !next;

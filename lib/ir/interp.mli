@@ -7,10 +7,14 @@
     the profile machinery and the optimal-counter-placement reconstruction
     can be validated against exact counts.
 
-    Memory model: one flat 32-bit byte-addressed space.  Globals are laid
-    out from a fixed base; stack slots are carved from a downward-growing
-    stack.  Word accesses must be 4-aligned.  This mirrors the machine
-    backend's layout so address arithmetic behaves identically. *)
+    Memory model: one flat 32-bit byte-addressed space.  An
+    {!argv_words}-word argument area sits at the fixed data base (the
+    image's [__argv]), then globals in declaration order; stack slots are
+    carved from a downward-growing stack at the top.  Word accesses must
+    be 4-aligned.  This mirrors the machine backend's layout exactly —
+    same global addresses, same bounds, same argv contents — so address
+    arithmetic, and in particular which accesses trap, behaves
+    identically (see the trap-parity notes in DESIGN.md). *)
 
 type counts = {
   blocks : (string * Ir.label, int64) Hashtbl.t;
@@ -29,11 +33,18 @@ type result = {
 
 exception Trap of string
 (** Runtime error: division by zero, out-of-bounds or unaligned access,
-    unknown callee, or fuel exhaustion. *)
+    unknown callee, call-stack overflow, or fuel exhaustion. *)
+
+val argv_words : int
+(** Words reserved for the argument area at the bottom of the data space
+    — must equal [Libc.argv_words] (pinned by a test; psd_ir cannot
+    depend on psd_link). *)
 
 val run :
   ?fuel:int64 -> ?mem_words:int -> Ir.modul -> entry:string ->
   args:int32 list -> result
 (** [run m ~entry ~args] executes [entry] with [args].  [fuel] bounds the
     step count (default [2^40]); exceeding it raises {!Trap}.
-    [mem_words] sizes the address space (default 1 Mi words = 4 MiB). *)
+    [mem_words] sizes the address space (default 1 Mi words = 4 MiB).
+    Raises [Invalid_argument] if [args] exceeds {!argv_words} (the
+    simulator rejects the same programs). *)
