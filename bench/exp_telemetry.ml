@@ -126,6 +126,26 @@ let attribution_json (cname, (a : attribution)) =
       ("cold_nop_density_pct", Jsonw.Float a.cold_density_pct);
     ]
 
+(* One workload's measurement, run as a pool task: everything it needs
+   (the prepared artifacts) is built in the parent beforehand, and all it
+   sends back is plain data — the baseline result and the per-config
+   attributions.  No printing in here: the parent renders rows in
+   workload order so the report is byte-identical at any -j. *)
+let measure_row (p : Suite.prepared) =
+  let w = p.Suite.workload in
+  Trace.with_span "telemetry-workload"
+    ~args:[ ("workload", w.Workload.name) ]
+    (fun () ->
+      let base =
+        Driver.run_image p.Suite.baseline ~profile:true ~args:w.Workload.ref_args
+      in
+      let base_prof = Simprof.of_result p.Suite.baseline base in
+      let hot = hot_blocks base_prof in
+      let per_config =
+        List.map (fun c -> (fst c, measure_config p ~base ~hot c)) Suite.configs
+      in
+      (base, per_config))
+
 let run () =
   Format.printf
     "@.Telemetry: per-config overhead and hot-vs-cold NOP attribution (hot \
@@ -133,34 +153,33 @@ let run () =
      %% of retired NOPs landing in hot blocks)@."
     (100.0 *. hot_share_target);
   Suite.hr Format.std_formatter;
+  (* Prepare (compile + train + baseline link) in the parent so workers
+     inherit a warm artifact cache and the cache-hit counters match the
+     serial run exactly. *)
+  let prepared = List.map Suite.prepared (Suite.workloads ()) in
+  let measured =
+    Suite.grid ~what:"telemetry"
+      ~label:(fun p -> p.Suite.workload.Workload.name)
+      measure_row prepared
+  in
   let rows =
-    List.map
-      (fun w ->
-        Trace.with_span "telemetry-workload"
-          ~args:[ ("workload", w.Workload.name) ]
-          (fun () ->
-            let p = Suite.prepared w in
-            let base =
-              Driver.run_image p.baseline ~profile:true
-                ~args:w.Workload.ref_args
-            in
-            let base_prof = Simprof.of_result p.baseline base in
-            let hot = hot_blocks base_prof in
-            let per_config =
-              List.map
-                (fun c -> (fst c, measure_config p ~base ~hot c))
-                Suite.configs
-            in
-            Format.printf "%-16s %10s %10s %10s %10s %10s@." w.Workload.name
-              "overhead" "nops" "hot-share" "hot-dens" "cold-dens";
-            List.iter
-              (fun (cname, a) ->
-                Format.printf "  %-14s %9.2f%% %10.0f %9.2f%% %9.2f%% %9.2f%%@."
-                  cname a.overhead_pct a.nops_retired a.hot_nop_share_pct
-                  a.hot_density_pct a.cold_density_pct)
-              per_config;
-            (w, base, per_config)))
-      (Suite.workloads ())
+    List.concat
+      (List.map2
+         (fun p -> function
+           | None -> []
+           | Some (base, per_config) ->
+               let w = p.Suite.workload in
+               Format.printf "%-16s %10s %10s %10s %10s %10s@." w.Workload.name
+                 "overhead" "nops" "hot-share" "hot-dens" "cold-dens";
+               List.iter
+                 (fun (cname, a) ->
+                   Format.printf
+                     "  %-14s %9.2f%% %10.0f %9.2f%% %9.2f%% %9.2f%%@." cname
+                     a.overhead_pct a.nops_retired a.hot_nop_share_pct
+                     a.hot_density_pct a.cold_density_pct)
+                 per_config;
+               [ (w, base, per_config) ])
+         prepared measured)
   in
   Suite.hr Format.std_formatter;
   (* Geometric-mean overhead per config across workloads. *)

@@ -6,11 +6,17 @@
      dune exec bench/main.exe -- figure4      # one experiment
      dune exec bench/main.exe -- --versions 5 figure4
      dune exec bench/main.exe -- --workloads 429.mcf,470.lbm telemetry
+     dune exec bench/main.exe -- --jobs auto telemetry
      dune exec bench/main.exe -- --trace bench.trace telemetry
 
    Experiments: table1 figure4 table2 table3 php-attack heuristic
-   ablation micro fuzz-coverage telemetry.  The telemetry experiment writes the
-   machine-readable report (default BENCH_PR2.json, see --out). *)
+   ablation micro fuzz-coverage telemetry parallel-scaling.  The
+   telemetry experiment writes the machine-readable report (default
+   BENCH_PR2.json, see --out); parallel-scaling writes its own (default
+   BENCH_PR4.json, see --scaling-out).  --jobs N|auto runs each
+   experiment's workload grid on the parallel pool — reports are
+   byte-identical at every -j.  Any failed cell or experiment is
+   reported at the end and makes the exit status nonzero. *)
 
 let experiments =
   [
@@ -24,12 +30,13 @@ let experiments =
     ("micro", Exp_micro.run);
     ("fuzz-coverage", Exp_fuzz.run);
     ("telemetry", Exp_telemetry.run);
+    ("parallel-scaling", Exp_scaling.run);
   ]
 
 let usage () =
   Format.printf
-    "usage: main.exe [--versions N] [--workloads A,B,..] [--trace FILE] \
-     [--out FILE] [experiment...]@.";
+    "usage: main.exe [--versions N] [--workloads A,B,..] [--jobs N|auto] \
+     [--trace FILE] [--out FILE] [--scaling-out FILE] [experiment...]@.";
   Format.printf "experiments: %s@."
     (String.concat " " (List.map fst experiments));
   exit 1
@@ -55,11 +62,22 @@ let () =
         | exception Not_found ->
             Format.printf "unknown workload in %S@." names;
             usage ())
+    | "--jobs" :: j :: rest -> (
+        match Pool.jobs_of_string j with
+        | Ok jobs ->
+            Suite.jobs := jobs;
+            parse selected rest
+        | Error msg ->
+            Format.printf "--jobs: %s@." msg;
+            usage ())
     | "--trace" :: file :: rest ->
         trace_file := Some file;
         parse selected rest
     | "--out" :: file :: rest ->
         Suite.telemetry_out := file;
+        parse selected rest
+    | "--scaling-out" :: file :: rest ->
+        Suite.scaling_out := file;
         parse selected rest
     | ("-h" | "--help") :: _ -> usage ()
     | name :: rest ->
@@ -75,18 +93,34 @@ let () =
   in
   if !trace_file <> None then Trace.start ();
   let t0 = Unix.gettimeofday () in
+  (* An experiment that raises must not take the harness (or the other
+     experiments) with it — record it and keep going; the failure
+     summary below turns any recorded failure into a nonzero exit, which
+     is what CI keys on. *)
   List.iter
     (fun name ->
       let t = Unix.gettimeofday () in
-      Trace.with_span "experiment" ~args:[ ("name", name) ] (fun () ->
-          (List.assoc name experiments) ());
+      (try
+         Trace.with_span "experiment" ~args:[ ("name", name) ] (fun () ->
+             (List.assoc name experiments) ())
+       with e ->
+         Suite.record_failure ~cell:name
+           (Printexc.to_string e ^ "\n" ^ Printexc.get_backtrace ()));
       Format.printf "[%s finished in %.1fs]@." name (Unix.gettimeofday () -. t))
     to_run;
   Format.printf "@.total: %.1fs@." (Unix.gettimeofday () -. t0);
-  match !trace_file with
+  (match !trace_file with
   | None -> ()
   | Some file ->
       Trace.stop ();
       Trace.write file;
       Format.printf "trace: %d events written to %s@." (Trace.event_count ())
-        file
+        file);
+  match List.rev !Suite.failures with
+  | [] -> ()
+  | failures ->
+      Format.printf "@.%d FAILED cell(s):@." (List.length failures);
+      List.iter
+        (fun (cell, msg) -> Format.printf "  %s: %s@." cell msg)
+        failures;
+      exit 1

@@ -39,6 +39,37 @@ let workloads () = !selected_workloads
 (* Where the telemetry experiment writes its machine-readable report. *)
 let telemetry_out = ref "BENCH_PR2.json"
 
+(* Where the parallel-scaling experiment writes its report. *)
+let scaling_out = ref "BENCH_PR4.json"
+
+(* Worker count for the experiment grids (bench's --jobs flag).  Serial
+   by default; the pool's serial path is the reference semantics, so
+   "--jobs 1" and "--jobs N" produce byte-identical reports. *)
+let jobs = ref (Pool.Jobs 1)
+
+(* Cell failures, accumulated across experiments: an experiment skips
+   the failed cell and carries on, and bench's main exits nonzero if
+   anything landed here — the CI perf gate depends on that exit code. *)
+let failures : (string * string) list ref = ref []
+let record_failure ~cell msg = failures := (cell, msg) :: !failures
+
+(* Run one experiment grid on the pool: one task per item, results in
+   item order, failed cells logged and returned as None.  Items must be
+   prepared (see [prepared]) in the parent first when they share driver
+   caches — workers inherit the warm cache, keeping cache-hit metrics
+   identical at every -j. *)
+let grid ~what ~label f items =
+  let outcomes = Pool.map ~jobs:!jobs f items in
+  List.map2
+    (fun item -> function
+      | Pool.Done v -> Some v
+      | o ->
+          record_failure
+            ~cell:(what ^ "/" ^ label item)
+            (Pool.outcome_to_string o);
+          None)
+    items outcomes
+
 let run_version p config version ~args =
   let image, _ =
     Driver.diversify p.compiled ~config ~profile:p.profile ~version

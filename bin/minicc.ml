@@ -454,11 +454,28 @@ let fuzz_cmd =
       & info [ "versions" ] ~docv:"N"
           ~doc:"Diversified versions per configuration (default 3).")
   in
-  let run count seed shrink out_dir versions trace =
+  let jobs_arg =
+    let jobs_conv =
+      Arg.conv
+        ( (fun s ->
+            match Pool.jobs_of_string s with
+            | Ok j -> Ok j
+            | Error msg -> Error (`Msg msg)),
+          fun ppf j -> Format.pp_print_string ppf (Pool.jobs_to_string j) )
+    in
+    Arg.(
+      value
+      & opt jobs_conv (Pool.Jobs 1)
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker processes for the campaign ($(docv) or $(b,auto)); the \
+             campaign is byte-identical at every setting.")
+  in
+  let run count seed shrink out_dir versions jobs trace =
     with_trace trace (fun () ->
         let log line = Format.eprintf "fuzz: %s@." line in
         let campaign =
-          Fuzz.run ~versions ~shrink ?out_dir ~log ~seed ~count ()
+          Fuzz.run ~versions ~shrink ?out_dir ~log ~jobs ~seed ~count ()
         in
         Format.printf
           "fuzz: %d programs, %d executions, %d skips (documented \
@@ -474,7 +491,12 @@ let fuzz_cmd =
                   d.Oracle.right d.Oracle.detail
             | None -> ())
           campaign.Fuzz.findings;
-        if campaign.Fuzz.findings <> [] then exit 1)
+        List.iter
+          (fun (index, msg) ->
+            Format.printf "ERROR program %d: %s@." index msg)
+          campaign.Fuzz.errors;
+        if campaign.Fuzz.findings <> [] || campaign.Fuzz.errors <> [] then
+          exit 1)
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -483,7 +505,7 @@ let fuzz_cmd =
           across interpreter, simulator and diversified variants.")
     Term.(
       const run $ count_arg $ seed_arg $ shrink_arg $ out_arg $ versions_arg
-      $ trace_arg)
+      $ jobs_arg $ trace_arg)
 
 let () =
   let doc = "profile-guided software diversity compiler (CGO'13 reproduction)" in

@@ -16,6 +16,10 @@ type campaign = {
   runs : int;  (** total oracle executions *)
   skips : int;  (** documented-asymmetry skips encountered *)
   findings : finding list;  (** divergences, in discovery order *)
+  errors : (int * string) list;
+      (** harness-side task failures (crashed or timed-out pool workers),
+          by program index — distinct from findings, which are
+          divergences the oracle actually judged *)
 }
 
 let m_programs = Metrics.counter "fuzz.programs"
@@ -131,52 +135,74 @@ let write_file path contents =
 
 let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 
+(* The campaign: the generate→oracle grid runs on the pool (each program
+   is one task, seeded by (campaign seed, index) — parallel and serial
+   runs produce identical verdicts), while everything order- or
+   filesystem-sensitive — shrinking, logging, reproducer files, the
+   campaign record — happens in the parent, walking results in index
+   order.  [~jobs:(Jobs 1)] (the default) takes the pool's in-process
+   serial path, so it IS the reference semantics, not a second code
+   path. *)
 let run ?levels ?configs ?versions ?(shrink = true) ?out_dir
-    ?(log = fun _ -> ()) ~seed ~count () =
-  let runs = ref 0 and skips = ref 0 and findings = ref [] in
-  let checked = ref 0 in
+    ?(log = fun _ -> ()) ?(jobs = Pool.Jobs 1) ~seed ~count () =
   (match out_dir with Some d -> ensure_dir d | None -> ());
-  for index = 0 to count - 1 do
-    let p = Gen.generate ~seed ~index in
-    let r = Oracle.check ?levels ?configs ?versions p in
-    incr checked;
-    Metrics.incr m_programs;
-    runs := !runs + r.Oracle.runs;
-    Metrics.incr ~by:(Int64.of_int r.Oracle.runs) m_runs;
-    skips := !skips + List.length r.Oracle.skips;
-    Metrics.incr ~by:(Int64.of_int (List.length r.Oracle.skips)) m_skips;
-    match r.Oracle.divergence with
-    | None -> ()
-    | Some d ->
-        Metrics.incr m_divergences;
-        log
-          (Printf.sprintf "divergence at index %d: %s vs %s — %s" index
-             d.Oracle.left d.Oracle.right d.Oracle.detail);
-        let shrunk =
-          if shrink && Array.length p.Gen.trace > 0 then begin
-            let s = Shrink.shrink ?levels ?configs ?versions p r in
-            Metrics.incr ~by:(Int64.of_int s.Shrink.attempts) m_shrink_attempts;
-            runs := !runs + (s.Shrink.attempts * r.Oracle.runs);
-            log
-              (Printf.sprintf "shrunk %d -> %d trace decisions (%d attempts)"
-                 (Array.length p.Gen.trace)
-                 (Array.length s.Shrink.shrunk.Gen.trace)
-                 s.Shrink.attempts);
-            Some s
-          end
-          else None
-        in
-        let f = { report = r; shrunk } in
-        findings := f :: !findings;
-        (match out_dir with
-        | Some dir ->
-            let path =
-              Filename.concat dir (p.Gen.name ^ ".repro.mc")
-            in
-            write_file path (reproducer f);
-            log ("reproducer written to " ^ path)
-        | None -> ())
-  done;
+  let outcomes =
+    Pool.run ~jobs
+      (List.init count (fun index () ->
+           let p = Gen.generate ~seed ~index in
+           let r = Oracle.check ?levels ?configs ?versions p in
+           Metrics.incr m_programs;
+           Metrics.incr ~by:(Int64.of_int r.Oracle.runs) m_runs;
+           Metrics.incr ~by:(Int64.of_int (List.length r.Oracle.skips)) m_skips;
+           if r.Oracle.divergence <> None then Metrics.incr m_divergences;
+           r))
+  in
+  let runs = ref 0 and skips = ref 0 and findings = ref [] in
+  let checked = ref 0 and errors = ref [] in
+  List.iteri
+    (fun index outcome ->
+      match outcome with
+      | Pool.Done (r : Oracle.report) -> (
+          incr checked;
+          runs := !runs + r.Oracle.runs;
+          skips := !skips + List.length r.Oracle.skips;
+          match r.Oracle.divergence with
+          | None -> ()
+          | Some d ->
+              let p = r.Oracle.program in
+              log
+                (Printf.sprintf "divergence at index %d: %s vs %s — %s" index
+                   d.Oracle.left d.Oracle.right d.Oracle.detail);
+              let shrunk =
+                if shrink && Array.length p.Gen.trace > 0 then begin
+                  let s = Shrink.shrink ?levels ?configs ?versions p r in
+                  Metrics.incr
+                    ~by:(Int64.of_int s.Shrink.attempts)
+                    m_shrink_attempts;
+                  runs := !runs + (s.Shrink.attempts * r.Oracle.runs);
+                  log
+                    (Printf.sprintf
+                       "shrunk %d -> %d trace decisions (%d attempts)"
+                       (Array.length p.Gen.trace)
+                       (Array.length s.Shrink.shrunk.Gen.trace)
+                       s.Shrink.attempts);
+                  Some s
+                end
+                else None
+              in
+              let f = { report = r; shrunk } in
+              findings := f :: !findings;
+              (match out_dir with
+              | Some dir ->
+                  let path = Filename.concat dir (p.Gen.name ^ ".repro.mc") in
+                  write_file path (reproducer f);
+                  log ("reproducer written to " ^ path)
+              | None -> ()))
+      | o ->
+          let msg = Pool.outcome_to_string o in
+          log (Printf.sprintf "harness error at index %d: %s" index msg);
+          errors := (index, msg) :: !errors)
+    outcomes;
   {
     seed;
     count;
@@ -184,4 +210,5 @@ let run ?levels ?configs ?versions ?(shrink = true) ?out_dir
     runs = !runs;
     skips = !skips;
     findings = List.rev !findings;
+    errors = List.rev !errors;
   }

@@ -19,6 +19,9 @@ type campaign = {
   runs : int;  (** total oracle executions, shrinking included *)
   skips : int;  (** documented-asymmetry skips encountered *)
   findings : finding list;  (** divergences, in discovery order *)
+  errors : (int * string) list;
+      (** harness-side task failures (crashed or timed-out pool workers),
+          by program index; empty on a healthy run *)
 }
 
 val run :
@@ -28,6 +31,7 @@ val run :
   ?shrink:bool ->
   ?out_dir:string ->
   ?log:(string -> unit) ->
+  ?jobs:Pool.jobs ->
   seed:int64 ->
   count:int ->
   unit ->
@@ -35,7 +39,13 @@ val run :
 (** Run a campaign of [count] programs.  Divergences are shrunk (unless
     [shrink:false]) and, with [out_dir], written there as
     [<name>.repro.mc] reproducer files (the directory is created if
-    missing).  [log] receives human-readable progress lines. *)
+    missing).  [log] receives human-readable progress lines.
+
+    [jobs] (default serial) fans the generate→oracle grid out on the
+    {!Pool}; each program is one task seeded by (campaign seed, index),
+    so the campaign — verdicts, shrunk traces, reproducer bytes — is
+    identical at every [-j].  Shrinking and file output always happen in
+    the parent, in index order. *)
 
 val reproducer : finding -> string
 (** Self-contained reproducer: header comments carrying the seed tuple,

@@ -34,6 +34,33 @@ val reset : unit -> unit
     names — survives).  The bench suite resets between runs so a dump
     covers exactly one invocation. *)
 
+(** {2 Snapshots}
+
+    What makes the registry merge-safe under the {!Pool}'s process
+    workers: a worker captures a {!snapshot} when it starts a task,
+    computes the {!delta} once the task finishes, and ships the delta to
+    the parent, which {!merge}s it in.  Counters add; histogram
+    observations append.  Because every per-task delta is disjoint, the
+    merged registry equals what a single-process run over the same tasks
+    would have produced — a property the test suite checks. *)
+
+type snapshot
+
+val snapshot : unit -> snapshot
+(** The registry's current contents, as plain marshalable data.  O(number
+    of names): histogram value lists are immutable and shared, not
+    copied. *)
+
+val delta : since:snapshot -> snapshot
+(** Everything recorded after [since] was taken: counter increments and
+    fresh histogram observations.  Only valid if {!reset} has not run in
+    between. *)
+
+val merge : snapshot -> unit
+(** Add a (delta) snapshot into the registry: counters by addition,
+    histogram values by observation.  Registers any names not yet
+    present. *)
+
 val dump : unit -> Jsonw.t
 (** The registry as a JSON value:
     [{"counters": {name: n, ...},

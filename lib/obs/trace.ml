@@ -2,6 +2,7 @@ type event = {
   name : string;
   cat : string;
   ph : [ `Complete | `Instant ];
+  tid : int;  (* 1 = the main process; pool workers get 2, 3, ... *)
   ts_us : float;  (* start, microseconds since trace start *)
   dur_us : float;  (* 0 for instants *)
   args : (string * string) list;
@@ -9,31 +10,42 @@ type event = {
 
 type span = { sname : string; scat : string; st0 : float; sargs : (string * string) list; live : bool }
 
+type events = event list  (* newest-first, like the collected buffer *)
+
 let on = ref false
 let t0 = ref 0.0
 let events : event list ref = ref []  (* reverse chronological *)
 let n_events = ref 0
 
+(* Guards the collected-event buffer (the [Domain] pool backend records
+   spans from several domains at once).  [on]/[t0] are read unlocked: a
+   racy read of [on] only means a span near the enable/disable edge may
+   be kept or dropped, which start/stop semantics allow anyway. *)
+let lock = Lock.create ()
+
 let enabled () = !on
 
 let start () =
-  events := [];
-  n_events := 0;
-  t0 := Clock.now_s ();
-  on := true
+  Lock.protect lock (fun () ->
+      events := [];
+      n_events := 0;
+      t0 := Clock.now_s ();
+      on := true)
 
 let stop () = on := false
 
 let reset () =
-  on := false;
-  events := [];
-  n_events := 0
+  Lock.protect lock (fun () ->
+      on := false;
+      events := [];
+      n_events := 0)
 
 let us_since_start () = (Clock.now_s () -. !t0) *. 1e6
 
 let push e =
-  events := e :: !events;
-  incr n_events
+  Lock.protect lock (fun () ->
+      events := e :: !events;
+      incr n_events)
 
 let dead_span = { sname = ""; scat = ""; st0 = 0.0; sargs = []; live = false }
 
@@ -48,6 +60,7 @@ let end_span ?(args = []) s =
         name = s.sname;
         cat = s.scat;
         ph = `Complete;
+        tid = 1;
         ts_us = s.st0;
         dur_us = Float.max 0.0 (us_since_start () -. s.st0);
         args = s.sargs @ args;
@@ -66,6 +79,7 @@ let instant ?(cat = "") ?(args = []) name =
         name;
         cat;
         ph = `Instant;
+        tid = 1;
         ts_us = us_since_start ();
         dur_us = 0.0;
         args;
@@ -73,13 +87,36 @@ let instant ?(cat = "") ?(args = []) name =
 
 let event_count () = !n_events
 
+(* ---- cross-process stitching (see Pool) ----
+   A forked worker inherits [on], [t0] and the monotonic clock state, so
+   its timestamps stay on the parent's timeline; the parent re-tags the
+   shipped events with the worker's id so Perfetto renders one track per
+   worker. *)
+
+let mark () = !n_events
+
+let since m =
+  Lock.protect lock (fun () ->
+      let fresh = !n_events - m in
+      let rec take n l =
+        if n <= 0 then []
+        else match l with [] -> [] | x :: tl -> x :: take (n - 1) tl
+      in
+      take fresh !events)
+
+let absorb ?(tid = 1) evs =
+  if !on then
+    (* [evs] is newest-first; push oldest-first so the buffer stays in
+       reverse chronological order. *)
+    List.iter (fun e -> push { e with tid }) (List.rev evs)
+
 let event_json (e : event) =
   let base =
     [
       ("name", Jsonw.Str e.name);
       ("cat", Jsonw.Str (if e.cat = "" then "psd" else e.cat));
       ("pid", Jsonw.int 1);
-      ("tid", Jsonw.int 1);
+      ("tid", Jsonw.int e.tid);
       ("ts", Jsonw.Float e.ts_us);
     ]
   in

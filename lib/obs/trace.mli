@@ -46,6 +46,29 @@ val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
 val event_count : unit -> int
 (** Number of collected events (completed spans + instants). *)
 
+(** {2 Cross-process stitching}
+
+    The {!Pool}'s forked workers inherit the tracer state (enabled flag
+    and time origin), so spans they record are on the parent's timeline.
+    A worker takes a {!mark} when it picks up a task, ships
+    {!since}[ mark] back with the task's result, and the parent
+    {!absorb}s the events under the worker's id — [--trace] output then
+    shows one track ([tid]) per worker. *)
+
+type events
+(** A batch of collected events; plain marshalable data. *)
+
+val mark : unit -> int
+(** The current collected-event count, to pass to {!since} later. *)
+
+val since : int -> events
+(** The events collected after {!mark} returned the given count. *)
+
+val absorb : ?tid:int -> events -> unit
+(** Append a batch recorded elsewhere, re-tagged with thread id [tid]
+    (default 1; pool workers use [2 + worker slot]).  Dropped when the
+    tracer is disabled. *)
+
 val export_json : unit -> string
 (** The collected events as a Chrome trace-event JSON object
     ([{"traceEvents": [...]}]), timestamps in microseconds. *)

@@ -1,0 +1,15 @@
+type t = Mutex.t
+
+let create = Mutex.create
+
+(* Not [Mutex.protect]: that arrived in OCaml 5.1 and this must build on
+   4.14 (where [Mutex] comes from threads.posix). *)
+let protect t f =
+  Mutex.lock t;
+  match f () with
+  | v ->
+      Mutex.unlock t;
+      v
+  | exception e ->
+      Mutex.unlock t;
+      raise e

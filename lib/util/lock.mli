@@ -1,0 +1,16 @@
+(** A plain mutual-exclusion lock.
+
+    The observability registries ({!Metrics}, {!Trace}) are global mutable
+    state; under the pool's [Domain]-based backend several domains record
+    into them concurrently, so every mutation goes through one of these.
+    On OCaml 4.14 (no domains) the lock is still real but never contended;
+    its uncontended cost is a few nanoseconds, far below the cost of the
+    instrumented operations themselves. *)
+
+type t
+
+val create : unit -> t
+
+val protect : t -> (unit -> 'a) -> 'a
+(** [protect t f] runs [f] holding [t]; the lock is released even if [f]
+    raises. *)

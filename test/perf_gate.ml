@@ -1,0 +1,201 @@
+(* The CI perf-regression gate.
+
+   Two checks against a bench telemetry report (BENCH*.json):
+
+   1. Determinism: the report produced with --jobs auto must be
+      byte-identical to the one produced with --jobs 1.  Any drift means
+      the pool leaked scheduling into an artifact.
+   2. Regression: per config, the median overhead_pct across workloads
+      must stay within a tolerance of the committed baseline snapshot —
+      max(0.05 percentage points, tolerance% of the baseline value,
+      default 2%).  The simulator is deterministic, so the medians are
+      machine-independent and a drift is a code change, not noise.
+
+   Modes:
+
+     perf_gate --serial S.json --parallel P.json --baseline B.json
+               [--tolerance-pct T] [--inject-slowdown-pct P]
+     perf_gate --write-baseline --serial S.json -o B.json
+
+   --inject-slowdown-pct scales the measured medians before comparing —
+   the gate's own CI self-test proves a 10% slowdown is caught.
+   --write-baseline regenerates the snapshot after an intentional
+   performance change (see DESIGN.md for the policy). *)
+
+let usage () =
+  prerr_endline
+    "usage: perf_gate --serial S.json --parallel P.json --baseline B.json\n\
+    \                 [--tolerance-pct T] [--inject-slowdown-pct P]\n\
+    \       perf_gate --write-baseline --serial S.json -o B.json";
+  exit 2
+
+let read_file path =
+  try In_channel.with_open_bin path In_channel.input_all
+  with Sys_error msg ->
+    Printf.eprintf "perf_gate: %s\n" msg;
+    exit 2
+
+let median = function
+  | [] -> 0.0
+  | xs ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      if n mod 2 = 1 then a.(n / 2)
+      else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+(* config name -> median overhead_pct across the report's workloads, in
+   first-appearance order. *)
+let medians_of_report json =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun c ->
+          let name = Minijson.(to_str (member "config" c)) in
+          let o = Minijson.(to_num (member "overhead_pct" c)) in
+          if not (Hashtbl.mem tbl name) then order := name :: !order;
+          Hashtbl.replace tbl name
+            (o :: Option.value (Hashtbl.find_opt tbl name) ~default:[]))
+        Minijson.(to_list (member "configs" w)))
+    Minijson.(to_list (member "workloads" json));
+  List.rev_map (fun name -> (name, median (Hashtbl.find tbl name))) !order
+
+let parse_report path text =
+  match Minijson.parse text with
+  | json -> json
+  | exception Minijson.Bad msg ->
+      Printf.printf "FAIL %s is not valid JSON: %s\n" path msg;
+      exit 1
+
+let write_baseline ~out medians =
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "{\n  \"schema\": \"psd-perf-gate-baseline/1\",\n";
+      output_string oc "  \"median_overhead_pct\": {\n";
+      List.iteri
+        (fun i (name, m) ->
+          Printf.fprintf oc "    %S: %.6f%s\n" name m
+            (if i = List.length medians - 1 then "" else ","))
+        medians;
+      output_string oc "  }\n}\n");
+  Printf.printf "baseline written to %s (%d configs)\n" out
+    (List.length medians)
+
+let () =
+  let serial = ref None
+  and parallel = ref None
+  and baseline = ref None
+  and out = ref None
+  and tolerance = ref 2.0
+  and inject = ref 0.0
+  and write_mode = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--serial" :: v :: rest ->
+        serial := Some v;
+        parse rest
+    | "--parallel" :: v :: rest ->
+        parallel := Some v;
+        parse rest
+    | "--baseline" :: v :: rest ->
+        baseline := Some v;
+        parse rest
+    | "-o" :: v :: rest ->
+        out := Some v;
+        parse rest
+    | "--tolerance-pct" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t when t > 0.0 -> tolerance := t
+        | _ -> usage ());
+        parse rest
+    | "--inject-slowdown-pct" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some p -> inject := p
+        | None -> usage ());
+        parse rest
+    | "--write-baseline" :: rest ->
+        write_mode := true;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let serial_path = match !serial with Some p -> p | None -> usage () in
+  let serial_text = read_file serial_path in
+  let serial_json = parse_report serial_path serial_text in
+  let medians =
+    List.map
+      (fun (name, m) -> (name, m *. (1.0 +. (!inject /. 100.0))))
+      (medians_of_report serial_json)
+  in
+  if !write_mode then begin
+    match !out with
+    | Some out -> write_baseline ~out medians
+    | None -> usage ()
+  end
+  else begin
+    let parallel_path = match !parallel with Some p -> p | None -> usage () in
+    let baseline_path = match !baseline with Some p -> p | None -> usage () in
+    let failed = ref false in
+    let fail fmt = Printf.ksprintf (fun s -> failed := true; print_string ("FAIL " ^ s ^ "\n")) fmt in
+    (* Check 1: parallel report byte-identical to serial. *)
+    let parallel_text = read_file parallel_path in
+    ignore (parse_report parallel_path parallel_text);
+    if String.equal serial_text parallel_text then
+      Printf.printf "ok   parallel report byte-identical to serial (%d bytes)\n"
+        (String.length serial_text)
+    else
+      fail "parallel report %s differs from serial %s — pool nondeterminism"
+        parallel_path serial_path;
+    (* Check 2: per-config median overheads within tolerance of the
+       committed baseline. *)
+    let base_json = parse_report baseline_path (read_file baseline_path) in
+    let base =
+      match Minijson.member "median_overhead_pct" base_json with
+      | Minijson.Obj kvs ->
+          List.map (function
+            | (k, Minijson.Num v) -> (k, v)
+            | (k, _) ->
+                Printf.printf "FAIL baseline %s: %s is not a number\n"
+                  baseline_path k;
+                exit 1)
+            kvs
+      | _ | (exception Minijson.Bad _) ->
+          Printf.printf "FAIL baseline %s: missing median_overhead_pct\n"
+            baseline_path;
+          exit 1
+    in
+    List.iter
+      (fun (name, m) ->
+        match List.assoc_opt name base with
+        | None -> fail "config %s measured but absent from baseline" name
+        | Some b ->
+            let allowed = Float.max 0.05 (!tolerance /. 100.0 *. Float.abs b) in
+            let drift = Float.abs (m -. b) in
+            if drift <= allowed then
+              Printf.printf
+                "ok   %-12s median overhead %+.3f%% (baseline %+.3f%%, drift \
+                 %.3fpp <= %.3fpp)\n"
+                name m b drift allowed
+            else
+              fail
+                "%s median overhead %+.3f%% drifted %.3fpp from baseline \
+                 %+.3f%% (allowed %.3fpp)"
+                name m drift b allowed)
+      medians;
+    List.iter
+      (fun (name, _) ->
+        if not (List.mem_assoc name medians) then
+          fail "config %s in baseline but missing from report" name)
+      base;
+    if !failed then begin
+      print_endline
+        "perf gate FAILED — if the change is intentional, regenerate \
+         test/perf_baseline.json with --write-baseline (see DESIGN.md)";
+      exit 1
+    end
+    else print_endline "perf gate passed"
+  end
