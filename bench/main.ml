@@ -10,10 +10,12 @@
      dune exec bench/main.exe -- --trace bench.trace telemetry
 
    Experiments: table1 figure4 table2 table3 php-attack heuristic
-   ablation micro fuzz-coverage telemetry parallel-scaling.  The
-   telemetry experiment writes the machine-readable report (default
+   ablation micro fuzz-coverage telemetry parallel-scaling incremental.
+   The telemetry experiment writes the machine-readable report (default
    BENCH_PR2.json, see --out); parallel-scaling writes its own (default
-   BENCH_PR4.json, see --scaling-out).  --jobs N|auto runs each
+   BENCH_PR4.json, see --scaling-out); incremental writes the cold/warm
+   rebuild report (default BENCH_PR5.json, see --incremental-out).
+   --jobs N|auto runs each
    experiment's workload grid on the parallel pool — reports are
    byte-identical at every -j.  Any failed cell or experiment is
    reported at the end and makes the exit status nonzero. *)
@@ -31,12 +33,14 @@ let experiments =
     ("fuzz-coverage", Exp_fuzz.run);
     ("telemetry", Exp_telemetry.run);
     ("parallel-scaling", Exp_scaling.run);
+    ("incremental", Exp_incremental.run);
   ]
 
 let usage () =
   Format.printf
     "usage: main.exe [--versions N] [--workloads A,B,..] [--jobs N|auto] \
-     [--trace FILE] [--out FILE] [--scaling-out FILE] [experiment...]@.";
+     [--trace FILE] [--out FILE] [--scaling-out FILE] [--incremental-out \
+     FILE] [experiment...]@.";
   Format.printf "experiments: %s@."
     (String.concat " " (List.map fst experiments));
   exit 1
@@ -78,6 +82,9 @@ let () =
         parse selected rest
     | "--scaling-out" :: file :: rest ->
         Suite.scaling_out := file;
+        parse selected rest
+    | "--incremental-out" :: file :: rest ->
+        Suite.incremental_out := file;
         parse selected rest
     | ("-h" | "--help") :: _ -> usage ()
     | name :: rest ->

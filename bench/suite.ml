@@ -42,6 +42,9 @@ let telemetry_out = ref "BENCH_PR2.json"
 (* Where the parallel-scaling experiment writes its report. *)
 let scaling_out = ref "BENCH_PR4.json"
 
+(* Where the incremental-build experiment writes its report. *)
+let incremental_out = ref "BENCH_PR5.json"
+
 (* Worker count for the experiment grids (bench's --jobs flag).  Serial
    by default; the pool's serial path is the reference semantics, so
    "--jobs 1" and "--jobs N" produce byte-identical reports. *)
@@ -72,7 +75,7 @@ let grid ~what ~label f items =
 
 let run_version p config version ~args =
   let image, _ =
-    Driver.diversify p.compiled ~config ~profile:p.profile ~version
+    Driver.diversify_linked p.compiled ~config ~profile:p.profile ~version
   in
   Driver.run_image image ~args
 

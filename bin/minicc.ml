@@ -3,6 +3,8 @@
    The full paper workflow is expressible from the shell:
 
      minicc compile prog.mc -o prog.bin           # undiversified build
+     minicc compile prog.mc -c -o prog.o          # relocatable object unit
+     minicc link prog.o -o prog.bin               # compose objects + runtime
      minicc compile prog.mc -O0                   # pick the opt level
      minicc compile prog.mc --passes simplify-cfg,constfold,copyprop,dce \
             --verify-each                         # custom pipeline ("O2
@@ -189,21 +191,82 @@ let print_pass_stats fmt (c : Driver.compiled) =
 (* ---- commands ---- *)
 
 let compile_cmd =
-  let run source output build stats trace =
+  let object_arg =
+    Arg.(
+      value & flag
+      & info [ "c"; "object" ]
+          ~doc:
+            "Emit a relocatable object unit (one object per function, \
+             unresolved relocations) instead of a linked image; feed the \
+             result to $(b,minicc link).  Default output: $(b,a.o).")
+  in
+  let run source output emit_object build stats trace =
     with_trace trace (fun () ->
         let c = compile_source ~build source in
-        let image = Driver.link_baseline c in
-        Link.save image output;
-        Format.printf "%s: %d bytes of .text, %d functions@." output
-          (String.length image.Link.text)
-          (List.length image.Link.symbols);
+        if emit_object then begin
+          let output = if output = "a.bin" then "a.o" else output in
+          let unit =
+            {
+              Objfile.uname = Filename.basename source;
+              funcs = c.Driver.objects;
+              globals = c.Driver.modul.Ir.globals;
+            }
+          in
+          Objfile.save unit output;
+          Format.printf "%s: %d functions, %d relocatable bytes@." output
+            (List.length unit.Objfile.funcs)
+            (List.fold_left
+               (fun n o -> n + Objfile.code_size o)
+               0 unit.Objfile.funcs)
+        end
+        else begin
+          let image = Driver.link_baseline c in
+          Link.save image output;
+          Format.printf "%s: %d bytes of .text, %d functions@." output
+            (String.length image.Link.text)
+            (List.length image.Link.symbols)
+        end;
         print_pass_stats stats c)
   in
   Cmd.v
-    (Cmd.info "compile" ~doc:"Compile MiniC to an undiversified binary image.")
+    (Cmd.info "compile"
+       ~doc:
+         "Compile MiniC to an undiversified binary image (or, with $(b,-c), \
+          a relocatable object unit).")
     Term.(
-      const run $ source_arg $ output_arg ~default:"a.bin" $ build_term
-      $ pass_stats_arg $ trace_arg)
+      const run $ source_arg $ output_arg ~default:"a.bin" $ object_arg
+      $ build_term $ pass_stats_arg $ trace_arg)
+
+let link_cmd =
+  let objects_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"OBJECT")
+  in
+  let run objects output trace =
+    with_trace trace (fun () ->
+        let units, image =
+          try
+            let units = List.map Objfile.load objects in
+            let funcs = List.concat_map (fun u -> u.Objfile.funcs) units in
+            let globals =
+              List.concat_map (fun u -> u.Objfile.globals) units
+            in
+            (units, Link.link_objects ~objects:funcs ~globals ())
+          with Failure msg ->
+            Format.eprintf "minicc: %s@." msg;
+            exit 1
+        in
+        Link.save image output;
+        Format.printf "%s: linked %d unit(s), %d bytes of .text, %d functions@."
+          output (List.length units)
+          (String.length image.Link.text)
+          (List.length image.Link.symbols))
+  in
+  Cmd.v
+    (Cmd.info "link"
+       ~doc:
+         "Link relocatable object units (from $(b,compile -c)) against the \
+          fixed runtime into an executable image.")
+    Term.(const run $ objects_arg $ output_arg ~default:"a.bin" $ trace_arg)
 
 let sim_profile_arg =
   Arg.(
@@ -221,7 +284,12 @@ let sim_profile_arg =
 let run_cmd =
   let run binary args sim_profile trace =
     with_trace trace (fun () ->
-        let image = Link.load binary in
+        let image =
+          try Link.load binary
+          with Failure msg ->
+            Format.eprintf "minicc: %s@." msg;
+            exit 1
+        in
         let r =
           try
             Driver.run_image image
@@ -514,6 +582,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            compile_cmd; run_cmd; profile_cmd; diversify_cmd; gadgets_cmd;
-            survivor_cmd; attack_cmd; disas_cmd; workload_cmd; fuzz_cmd;
+            compile_cmd; link_cmd; run_cmd; profile_cmd; diversify_cmd;
+            gadgets_cmd; survivor_cmd; attack_cmd; disas_cmd; workload_cmd;
+            fuzz_cmd;
           ]))

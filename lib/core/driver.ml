@@ -1,6 +1,7 @@
 type compiled = {
   name : string;
   modul : Ir.modul;
+  objects : Objfile.func_obj list;
   asm : Asm.func list;
   main_arity : int;
   cctx : Cctx.t;
@@ -16,6 +17,29 @@ let cache_key_of ~descr ~verify_each ~name src =
     (Pipeline.descr_to_string descr)
     verify_each
     (Digest.to_hex (Digest.string src))
+
+(* ---- separate compilation: per-function lowering through the
+   content-addressed artifact store ---- *)
+
+let ir_digest_of (irf : Ir.func) =
+  Digest.to_hex (Digest.string (Format.asprintf "%a" Ir.pp_func irf))
+
+(* Lower one optimized function to a relocatable object, reusing a
+   stored artifact when the function's full provenance (IR digest ×
+   pipeline × object-format version; config "-"/seed 0 — lowering is
+   diversification-independent) has been lowered before.  Only a miss
+   runs isel/liveness/regalloc/emit (and thus records machine-stage
+   cctx stats and bumps the machine.<stage>.runs counters). *)
+let lower_func ~cctx ~descr (irf : Ir.func) =
+  let ir_digest = ir_digest_of irf in
+  let pipeline = Pipeline.descr_to_string descr in
+  Store.find_or_lower ~ir_digest ~pipeline ~config:"-" ~seed:0L (fun () ->
+      let asm = Stages.func ~cctx irf in
+      Objfile.of_asm ~ir_digest ~pipeline ~arity:(List.length irf.Ir.params)
+        asm)
+
+let lower_modul ~cctx ~descr (m : Ir.modul) =
+  List.map (lower_func ~cctx ~descr) m.Ir.funcs
 
 let compile ?(opt = Pipeline.O2) ?passes ?(verify_each = false) ~name src =
   let descr =
@@ -63,14 +87,15 @@ let compile ?(opt = Pipeline.O2) ?passes ?(verify_each = false) ~name src =
         | exception Not_found ->
             failwith ("Driver.compile: " ^ name ^ " has no main")
       in
-      let asm =
+      let objects =
         Trace.with_span "machine" ~args:[ ("program", name) ] (fun () ->
-            Stages.modul ~cctx modul)
+            lower_modul ~cctx ~descr modul)
       in
       {
         name;
         modul;
-        asm;
+        objects;
+        asm = List.map (fun (o : Objfile.func_obj) -> o.Objfile.asm) objects;
         main_arity = List.length main.params;
         cctx;
         pipeline = descr;
@@ -84,10 +109,11 @@ let compile_cache : (string, compiled) Hashtbl.t = Hashtbl.create 32
 let profile_cache : (string, Profile.t) Hashtbl.t = Hashtbl.create 32
 let baseline_cache : (string, Link.image) Hashtbl.t = Hashtbl.create 32
 
-let clear_caches () =
+let clear_caches ?(store = true) () =
   Hashtbl.reset compile_cache;
   Hashtbl.reset profile_cache;
-  Hashtbl.reset baseline_cache
+  Hashtbl.reset baseline_cache;
+  if store then Store.clear ()
 
 let memo ~metric tbl key build =
   (* Every lookup lands in the metrics registry as a hit or a miss, so a
@@ -130,8 +156,8 @@ let link_baseline c =
   let image, dt =
     Trace.with_span "link" ~args:[ ("program", c.name) ] (fun () ->
         Cctx.timed (fun () ->
-            Link.link ~funcs:c.asm ~globals:c.modul.globals
-              ~main_arity:c.main_arity))
+            Link.link_objects ~expect_main_arity:c.main_arity
+              ~objects:c.objects ~globals:c.modul.globals ()))
   in
   Cctx.record c.cctx
     {
@@ -150,6 +176,39 @@ let link_baseline_cached c =
   memo ~metric:"driver.baseline_cache" baseline_cache c.cache_key (fun () ->
       link_baseline c)
 
+(* The shared diversification front half: one NOP-insertion pass over
+   the whole program under the (config seed, program, config, version)
+   RNG stream, with cctx/metrics accounting.  Both link paths consume
+   its output, so their RNG streams — and therefore their images — are
+   identical by construction. *)
+let diversify_funcs c ~config ~profile ~version =
+  let cname = Config.name config in
+  let rng =
+    Rng.of_labels config.Config.seed [ c.name; cname; string_of_int version ]
+  in
+  let (funcs, stats), dt =
+    Cctx.timed (fun () -> Nop_insert.run_program ~config ~profile ~rng c.asm)
+  in
+  Cctx.record c.cctx
+    {
+      Cctx.stage = "diversify";
+      pass = "nop-insert";
+      func = "*";
+      time_s = dt;
+      items_before = stats.Nop_insert.insns_seen;
+      items_after =
+        stats.Nop_insert.insns_seen + stats.Nop_insert.nops_inserted;
+      bytes = stats.Nop_insert.bytes_added;
+      changed = stats.Nop_insert.nops_inserted > 0;
+    };
+  Metrics.incr
+    ~by:(Int64.of_int stats.Nop_insert.nops_inserted)
+    (Metrics.counter ("diversify.nops_inserted." ^ cname));
+  Metrics.observe
+    (Metrics.histogram ("diversify.nop_bytes." ^ cname))
+    (float_of_int stats.Nop_insert.bytes_added);
+  (funcs, stats)
+
 let diversify c ~config ~profile ~version =
   let cname = Config.name config in
   Trace.with_span "diversify"
@@ -157,38 +216,41 @@ let diversify c ~config ~profile ~version =
       [ ("program", c.name); ("config", cname);
         ("version", string_of_int version) ]
     (fun () ->
-      let rng =
-        Rng.of_labels config.Config.seed
-          [ c.name; cname; string_of_int version ]
-      in
-      let (funcs, stats), dt =
-        Cctx.timed (fun () ->
-            Nop_insert.run_program ~config ~profile ~rng c.asm)
-      in
-      Cctx.record c.cctx
-        {
-          Cctx.stage = "diversify";
-          pass = "nop-insert";
-          func = "*";
-          time_s = dt;
-          items_before = stats.Nop_insert.insns_seen;
-          items_after =
-            stats.Nop_insert.insns_seen + stats.Nop_insert.nops_inserted;
-          bytes = stats.Nop_insert.bytes_added;
-          changed = stats.Nop_insert.nops_inserted > 0;
-        };
-      Metrics.incr
-        ~by:(Int64.of_int stats.Nop_insert.nops_inserted)
-        (Metrics.counter ("diversify.nops_inserted." ^ cname));
-      Metrics.observe
-        (Metrics.histogram ("diversify.nop_bytes." ^ cname))
-        (float_of_int stats.Nop_insert.bytes_added);
+      let funcs, stats = diversify_funcs c ~config ~profile ~version in
       ( Link.link ~funcs ~globals:c.modul.globals ~main_arity:c.main_arity,
         stats ))
 
+let diversify_linked c ~config ~profile ~version =
+  let cname = Config.name config in
+  Trace.with_span "diversify"
+    ~args:
+      [ ("program", c.name); ("config", cname);
+        ("version", string_of_int version) ]
+    (fun () ->
+      let funcs, stats = diversify_funcs c ~config ~profile ~version in
+      (* Re-wrap each diversified function as an object carrying its
+         undiversified provenance, and compose with the memoized runtime
+         objects: only NOP insertion and the relink ran — no
+         isel/liveness/regalloc — which is the whole point of the
+         separate-compilation pipeline. *)
+      let objects =
+        List.map2
+          (fun (o : Objfile.func_obj) f ->
+            Objfile.of_asm ~ir_digest:o.Objfile.meta.Objfile.ir_digest
+              ~pipeline:o.Objfile.meta.Objfile.pipeline
+              ~arity:o.Objfile.meta.Objfile.arity f)
+          c.objects funcs
+      in
+      let image =
+        Link.link_objects ~expect_main_arity:c.main_arity
+          ~runtime:(Link.runtime_objects ~main_arity:c.main_arity)
+          ~objects ~globals:c.modul.globals ()
+      in
+      (image, stats))
+
 let population c ~config ~profile ~n =
   List.init n (fun version ->
-      fst (diversify c ~config ~profile ~version))
+      fst (diversify_linked c ~config ~profile ~version))
 
 let run_ir c ~args = Interp.run c.modul ~entry:"main" ~args
 

@@ -22,7 +22,13 @@
 type compiled = {
   name : string;  (** program name (seed label and reporting key) *)
   modul : Ir.modul;  (** the optimized IR *)
-  asm : Asm.func list;  (** undiversified user functions *)
+  objects : Objfile.func_obj list;
+      (** one relocatable object per user function, in definition order —
+          lowered through the content-addressed {!Store}, so a function
+          whose (IR digest, pipeline) was lowered before is a store hit
+          and skips isel/liveness/regalloc/emit entirely *)
+  asm : Asm.func list;
+      (** undiversified user functions (the objects' symbolic streams) *)
   main_arity : int;
   cctx : Cctx.t;  (** per-stage instrumentation for this compilation *)
   pipeline : Pipeline.descr;  (** the pass pipeline that was run *)
@@ -68,8 +74,11 @@ val link_baseline : compiled -> Link.image
 val link_baseline_cached : compiled -> Link.image
 (** Like {!link_baseline}, memoized on the compilation's cache key. *)
 
-val clear_caches : unit -> unit
-(** Drop every memoized artifact (compilations, profiles, baselines). *)
+val clear_caches : ?store:bool -> unit -> unit
+(** Drop every memoized artifact (compilations, profiles, baselines) and,
+    unless [~store:false], the content-addressed function store too.
+    [~store:false] is the incremental-build scenario: the program-level
+    memos go cold but per-function lowering artifacts survive. *)
 
 val diversify :
   compiled ->
@@ -83,13 +92,28 @@ val diversify :
     independent.  Records a ["diversify"/"nop-insert"] stat into the
     compilation context. *)
 
+val diversify_linked :
+  compiled ->
+  config:Config.t ->
+  profile:Profile.t ->
+  version:int ->
+  Link.image * Nop_insert.stats
+(** {!diversify} through the separate-compilation path: NOP-insert each
+    function, wrap the results as relocatable objects, and
+    {!Link.link_objects} them against the memoized runtime objects.
+    Byte-identical to {!diversify} (same RNG stream, same layout) — the
+    equivalence suite pins this — but performs {e only} NOP insertion
+    and the relink: lowering always comes from {!compiled.objects}. *)
+
 val population :
   compiled ->
   config:Config.t ->
   profile:Profile.t ->
   n:int ->
   Link.image list
-(** [n] independent versions (the paper builds 25 for Tables 2 and 3). *)
+(** [n] independent versions (the paper builds 25 for Tables 2 and 3),
+    built through {!diversify_linked} — a warm population build performs
+    zero isel/liveness/regalloc stage runs. *)
 
 val run_ir : compiled -> args:int32 list -> Interp.result
 (** Execute the optimized IR under the reference interpreter. *)

@@ -19,19 +19,18 @@ let argv_address image =
   | Some a -> a
   | None -> failwith "Link.argv_address: __argv missing"
 
-let link ~funcs ~globals ~main_arity =
-  if not (List.exists (fun (f : Asm.func) -> f.name = "main") funcs) then
-    failwith "Link.link: no main function";
-  let all_funcs = (Libc.start ~main:"main" ~main_arity :: Libc.funcs) @ funcs in
-  (* Duplicate detection across user and library symbols. *)
-  let seen = Hashtbl.create 16 in
-  List.iter
-    (fun (f : Asm.func) ->
-      if Hashtbl.mem seen f.name then
-        failwith ("Link.link: duplicate symbol " ^ f.name);
-      Hashtbl.replace seen f.name ())
-    all_funcs;
-  (* Lay out the data space: __argv first, then the program's globals. *)
+let patch32 text pos (v : int32) =
+  Bytes.set text pos (Char.chr (Int32.to_int v land 0xFF));
+  Bytes.set text (pos + 1)
+    (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xFF));
+  Bytes.set text (pos + 2)
+    (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xFF));
+  Bytes.set text (pos + 3)
+    (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xFF))
+
+(* Data-space layout, shared by both linkers: __argv first, then the
+   program's globals in declaration order. *)
+let layout_globals globals =
   let globals_with_argv =
     { Ir.gname = Libc.argv_symbol; size_words = Libc.argv_words; init = None }
     :: globals
@@ -48,7 +47,157 @@ let link ~funcs ~globals ~main_arity =
         ((g.gname, addr) :: addrs, inits))
       ([], []) globals_with_argv
   in
-  let global_addrs = List.rev global_addrs in
+  (List.rev global_addrs, data_init)
+
+(* ---- the object linker ---- *)
+
+(* The fixed runtime — crt0 for [main_arity] plus the library — as
+   relocatable objects, memoized per arity: every link of every variant
+   composes the same undiversified runtime objects, exactly as the
+   paper's binaries reuse the stock crt0/libc objects. *)
+let runtime_table : (int, Objfile.func_obj list) Hashtbl.t = Hashtbl.create 4
+
+let runtime_objects ~main_arity =
+  match Hashtbl.find_opt runtime_table main_arity with
+  | Some objs -> objs
+  | None ->
+      let objs =
+        List.map
+          (fun (f : Asm.func) ->
+            Objfile.of_asm
+              ~arity:(if f.Asm.name = Libc.start_symbol then main_arity else 0)
+              f)
+          (Libc.start ~main:"main" ~main_arity :: Libc.funcs)
+      in
+      Hashtbl.replace runtime_table main_arity objs;
+      objs
+
+let link_objects ?expect_main_arity ?runtime ~objects ~globals () =
+  let main_arity =
+    match List.find_opt (fun o -> o.Objfile.sym = "main") objects with
+    | None -> failwith "Link.link: no main function"
+    | Some o -> o.Objfile.meta.Objfile.arity
+  in
+  (match expect_main_arity with
+  | Some e when e <> main_arity ->
+      failwith
+        (Printf.sprintf
+           "Link.link: main arity mismatch: object main takes %d argument(s), \
+            %d expected"
+           main_arity e)
+  | _ -> ());
+  let runtime =
+    match runtime with Some r -> r | None -> runtime_objects ~main_arity
+  in
+  (* Layout rule: fixed runtime objects first, at their fixed offsets,
+     then the user objects in input order. *)
+  let all = runtime @ objects in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (o : Objfile.func_obj) ->
+      if Hashtbl.mem seen o.Objfile.sym then
+        failwith ("Link.link: duplicate symbol " ^ o.Objfile.sym);
+      Hashtbl.replace seen o.Objfile.sym ())
+    all;
+  let global_addrs, data_init = layout_globals globals in
+  let offsets = Hashtbl.create 16 in
+  let total =
+    List.fold_left
+      (fun off (o : Objfile.func_obj) ->
+        Hashtbl.replace offsets o.Objfile.sym off;
+        off + Objfile.code_size o)
+      0 all
+  in
+  let user_start =
+    List.fold_left (fun off o -> off + Objfile.code_size o) 0 runtime
+  in
+  let text = Bytes.create total in
+  List.iter
+    (fun (o : Objfile.func_obj) ->
+      let base = Hashtbl.find offsets o.Objfile.sym in
+      Bytes.blit_string o.Objfile.code 0 text base (Objfile.code_size o);
+      List.iter
+        (fun reloc ->
+          match reloc with
+          | Asm.Rel32 (site, sym) -> (
+              match Hashtbl.find_opt offsets sym with
+              | Some target ->
+                  (* rel32 is relative to the end of the 4-byte field. *)
+                  patch32 text (base + site)
+                    (Int32.of_int (target - (base + site + 4)))
+              | None ->
+                  failwith
+                    (Printf.sprintf "Link.link: %s: undefined function %s"
+                       o.Objfile.sym sym))
+          | Asm.Abs32 (site, sym) -> (
+              match List.assoc_opt sym global_addrs with
+              | Some addr -> patch32 text (base + site) addr
+              | None ->
+                  failwith
+                    (Printf.sprintf "Link.link: %s: undefined global %s"
+                       o.Objfile.sym sym)))
+        o.Objfile.relocs)
+    all;
+  let entry =
+    match Hashtbl.find_opt offsets Libc.start_symbol with
+    | Some e -> e
+    | None -> failwith "Link.link: entry stub missing from runtime objects"
+  in
+  let symbols =
+    List.map
+      (fun (o : Objfile.func_obj) ->
+        (o.Objfile.sym, Hashtbl.find offsets o.Objfile.sym))
+      all
+  in
+  let block_offsets =
+    (* Absolute text offset of every basic-block label, per function —
+       the layout map that lets runtime profiles attribute executed
+       offsets back to blocks. *)
+    List.map
+      (fun (o : Objfile.func_obj) ->
+        let base = Hashtbl.find offsets o.Objfile.sym in
+        (o.Objfile.sym, List.map (fun (l, p) -> (l, base + p)) o.Objfile.labels))
+      all
+  in
+  {
+    text = Bytes.to_string text;
+    text_base;
+    symbols;
+    entry;
+    user_start;
+    block_offsets;
+    globals = global_addrs;
+    data_init;
+    main_arity;
+  }
+
+let link ~funcs ~globals ~main_arity =
+  if not (List.exists (fun (f : Asm.func) -> f.name = "main") funcs) then
+    failwith "Link.link: no main function";
+  let objects =
+    List.map
+      (fun (f : Asm.func) ->
+        Objfile.of_asm ~arity:(if f.Asm.name = "main" then main_arity else 0) f)
+      funcs
+  in
+  link_objects ~expect_main_arity:main_arity ~objects ~globals ()
+
+(* ---- the seed whole-program linker, kept verbatim as the differential
+   oracle: the equivalence suite pins the object linker byte-identical
+   to this one across every workload × config × seed. ---- *)
+
+let link_whole ~funcs ~globals ~main_arity =
+  if not (List.exists (fun (f : Asm.func) -> f.name = "main") funcs) then
+    failwith "Link.link: no main function";
+  let all_funcs = (Libc.start ~main:"main" ~main_arity :: Libc.funcs) @ funcs in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Asm.func) ->
+      if Hashtbl.mem seen f.name then
+        failwith ("Link.link: duplicate symbol " ^ f.name);
+      Hashtbl.replace seen f.name ())
+    all_funcs;
+  let global_addrs, data_init = layout_globals globals in
   (* Assemble every function and lay text out sequentially. *)
   let assembled = List.map (fun f -> (f, Asm.assemble f)) all_funcs in
   let offsets = Hashtbl.create 16 in
@@ -60,15 +209,6 @@ let link ~funcs ~globals ~main_arity =
       0 assembled
   in
   let text = Bytes.create total in
-  let patch32 pos (v : int32) =
-    Bytes.set text pos (Char.chr (Int32.to_int v land 0xFF));
-    Bytes.set text (pos + 1)
-      (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xFF));
-    Bytes.set text (pos + 2)
-      (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xFF));
-    Bytes.set text (pos + 3)
-      (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xFF))
-  in
   List.iter
     (fun ((f : Asm.func), (a : Asm.assembled)) ->
       let base = Hashtbl.find offsets f.name in
@@ -79,8 +219,7 @@ let link ~funcs ~globals ~main_arity =
           | Asm.Rel32 (site, sym) -> (
               match Hashtbl.find_opt offsets sym with
               | Some target ->
-                  (* rel32 is relative to the end of the 4-byte field. *)
-                  patch32 (base + site)
+                  patch32 text (base + site)
                     (Int32.of_int (target - (base + site + 4)))
               | None ->
                   failwith
@@ -88,7 +227,7 @@ let link ~funcs ~globals ~main_arity =
                        f.name sym))
           | Asm.Abs32 (site, sym) -> (
               match List.assoc_opt sym global_addrs with
-              | Some addr -> patch32 (base + site) addr
+              | Some addr -> patch32 text (base + site) addr
               | None ->
                   failwith
                     (Printf.sprintf "Link.link: %s: undefined global %s"
@@ -101,9 +240,6 @@ let link ~funcs ~globals ~main_arity =
       assembled
   in
   let block_offsets =
-    (* Absolute text offset of every basic-block label, per function —
-       the layout map that lets runtime profiles attribute executed
-       offsets back to blocks. *)
     List.map
       (fun ((f : Asm.func), (a : Asm.assembled)) ->
         let base = Hashtbl.find offsets f.name in
@@ -111,7 +247,6 @@ let link ~funcs ~globals ~main_arity =
       assembled
   in
   let user_start =
-    (* The first user function follows the fixed runtime block. *)
     match funcs with
     | [] -> total
     | f :: _ -> Hashtbl.find offsets f.Asm.name
@@ -137,28 +272,21 @@ let user_text image =
   String.sub image.text image.user_start
     (String.length image.text - image.user_start)
 
-(* Bumped (01 -> 02) when [block_offsets] joined the image record: the
-   marshalled layout changed, and the magic is what turns a stale file
-   into a clean error instead of garbage. *)
-let magic = "PSDIMG02"
+(* Image-file framing: a fixed magic plus an explicit version field and
+   a payload digest trailer (see {!Frame}).  Version 3 succeeds the two
+   bare-magic generations (PSDIMG01/02); their loads now fail with "not
+   a PSD image file" rather than feeding stale bytes to Marshal. *)
+let magic = "PSDIMAGE"
+let format_version = 3
 
 let save image path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc magic;
-      Marshal.to_channel oc image [])
+  Frame.write ~magic ~version:format_version
+    ~payload:(Marshal.to_string image []) path
 
 let load path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let header = really_input_string ic (String.length magic) in
-      if not (String.equal header magic) then
-        failwith (path ^ ": not a PSD image file");
-      match (Marshal.from_channel ic : image) with
-      | image -> image
-      | exception (End_of_file | Failure _) ->
-          failwith (path ^ ": truncated or corrupt image"))
+  let payload =
+    Frame.read ~magic ~version:format_version ~what:"PSD image" path
+  in
+  match (Marshal.from_string payload 0 : image) with
+  | image -> image
+  | exception _ -> failwith (path ^ ": corrupt PSD image file (bad payload)")

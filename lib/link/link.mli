@@ -1,10 +1,17 @@
-(** The linker: symbolic assembly functions to an executable image.
+(** The linker: relocatable objects to an executable image.
 
-    Layout: the entry stub and the library functions first, at fixed
-    offsets (undiversified, like the real crt0/libc objects the paper
-    blames for its surviving-gadget floor), then the user's functions in
-    order.  After layout, the two relocation kinds are patched: [Rel32]
-    call displacements and [Abs32] global data addresses.
+    Layout rule: the fixed runtime objects — the entry stub and the
+    library functions — come first, at fixed offsets (undiversified,
+    like the real crt0/libc objects the paper blames for its
+    surviving-gadget floor), then the user objects in input order.
+    After layout, the two relocation kinds are patched: [Rel32] call
+    displacements and [Abs32] global data addresses.
+
+    {!link_objects} is the real linker; {!link} is the symbolic-assembly
+    convenience that wraps each function into an object first; and
+    {!link_whole} is the seed whole-program implementation, kept as the
+    differential oracle the equivalence suite pins the object path
+    against, byte for byte.
 
     The data address space is separate from text (Harvard-style in the
     simulator, matching W⊕X): globals start at {!data_base}, the stack
@@ -33,10 +40,39 @@ val stack_top : int32
 val argv_address : image -> int32
 (** Where the simulator must write the program arguments. *)
 
-val link : funcs:Asm.func list -> globals:Ir.global list -> main_arity:int -> image
-(** Link user functions (already diversified or not) against the runtime.
-    [funcs] must contain a function named ["main"] with [main_arity]
-    parameters.  Raises [Failure] on unresolved or duplicate symbols. *)
+val runtime_objects : main_arity:int -> Objfile.func_obj list
+(** The fixed runtime — crt0 built for [main_arity], then the library
+    functions in link order — as relocatable objects.  Memoized per
+    arity: every variant of every program composes the {e same} runtime
+    objects. *)
+
+val link_objects :
+  ?expect_main_arity:int ->
+  ?runtime:Objfile.func_obj list ->
+  objects:Objfile.func_obj list ->
+  globals:Ir.global list ->
+  unit ->
+  image
+(** Link relocatable objects into an image.  [objects] must define
+    ["main"]; its arity is read from the object's metadata and drives
+    the crt0 stub ([runtime] defaults to {!runtime_objects} for that
+    arity).  With [expect_main_arity], a differing object arity is a
+    linker error.  Raises [Failure] — always naming the offending
+    symbol — on a missing [main], a duplicate symbol, an unresolved
+    function or global reference, or a [main]-arity mismatch. *)
+
+val link :
+  funcs:Asm.func list -> globals:Ir.global list -> main_arity:int -> image
+(** Wrap each symbolic function into an object ({!Objfile.of_asm}) and
+    {!link_objects} them.  [funcs] must contain a function named
+    ["main"] with [main_arity] parameters.  Raises [Failure] on
+    unresolved or duplicate symbols. *)
+
+val link_whole :
+  funcs:Asm.func list -> globals:Ir.global list -> main_arity:int -> image
+(** The seed whole-program linker, kept verbatim as the reference the
+    object pipeline is differentially tested against.  Produces images
+    byte-identical to {!link}. *)
 
 val symbol_offset : image -> string -> int
 (** Text offset of a function.  Raises [Failure] if absent. *)
@@ -46,10 +82,14 @@ val user_text : image -> string
     transformations actually changed.  (Survivor runs on the whole
     section; this accessor supports libc-vs-user breakdowns.) *)
 
+val format_version : int
+(** Image-file format version (see {!Frame}); bumped whenever the
+    marshalled [image] layout changes. *)
+
 val save : image -> string -> unit
-(** Write an image to a file (the CLI's binary format: a magic header
-    followed by a marshalled record). *)
+(** Write an image to a file: magic, format-version field, marshalled
+    payload and a payload-digest trailer ({!Frame.write}). *)
 
 val load : string -> image
-(** Inverse of {!save}.  Raises [Failure] on bad magic or a truncated
-    file. *)
+(** Inverse of {!save}.  Raises [Failure] on bad magic, a format-version
+    mismatch, or a truncated or corrupted file. *)

@@ -12,7 +12,9 @@
       byte size of the function in the [bytes] field.
 
     The staged driver ({!Driver.compile}) lowers every function through
-    this module. *)
+    this module.  Each stage run also bumps a process-wide
+    [machine.<stage>.runs] counter in {!Metrics} — the counters the
+    artifact store's warm-rebuild guarantees are asserted on. *)
 
 val func : ?cctx:Cctx.t -> Ir.func -> Asm.func
 (** Lower one optimized IR function to symbolic assembly. *)

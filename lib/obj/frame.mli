@@ -1,0 +1,16 @@
+(** Versioned, digest-checked file framing for binary artifacts.
+
+    Layout: [magic | version (u32 LE) | payload | MD5(payload)].  Both
+    the object format ({!Objfile}) and the linked-image format
+    ({!Link.save}) use this container, so every loader distinguishes
+    "not this kind of file", "produced by an incompatible build" and
+    "truncated or corrupted" with a precise [Failure]. *)
+
+val write : magic:string -> version:int -> payload:string -> string -> unit
+(** [write ~magic ~version ~payload path] frames [payload] and writes it
+    to [path]. *)
+
+val read : magic:string -> version:int -> what:string -> string -> string
+(** [read ~magic ~version ~what path] returns the payload.  Raises
+    [Failure] — naming [path] and [what] (e.g. ["PSD object"]) — on bad
+    magic, version mismatch, truncation, or a digest mismatch. *)

@@ -1,0 +1,74 @@
+(* Content-addressed function-artifact store.  Keys are the full
+   provenance of a lowered function; values are relocatable objects.
+   Bounded LRU: the population/bench grids sweep many configs over the
+   same 19 workloads, and the store must hold the working set without
+   growing with the number of experiment cells. *)
+
+let default_capacity = 8192
+let capacity = ref default_capacity
+
+type entry = { obj : Objfile.func_obj; mutable last_use : int }
+
+let tbl : (string, entry) Hashtbl.t = Hashtbl.create 256
+let tick = ref 0
+
+let key ~ir_digest ~pipeline ~config ~seed =
+  Printf.sprintf "v%d|%s|%s|%s|%Ld" Objfile.format_version ir_digest pipeline
+    config seed
+
+let lookup k =
+  incr tick;
+  match Hashtbl.find_opt tbl k with
+  | Some e ->
+      e.last_use <- !tick;
+      Metrics.incr (Metrics.counter "obj.store.hit");
+      Some e.obj
+  | None ->
+      Metrics.incr (Metrics.counter "obj.store.miss");
+      None
+
+let evict_lru () =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best <= e.last_use -> acc
+        | _ -> Some (k, e.last_use))
+      tbl None
+  in
+  match victim with
+  | Some (k, _) ->
+      Hashtbl.remove tbl k;
+      Metrics.incr (Metrics.counter "obj.store.evict")
+  | None -> ()
+
+let insert k obj =
+  incr tick;
+  if not (Hashtbl.mem tbl k) then begin
+    if Hashtbl.length tbl >= !capacity then evict_lru ();
+    Hashtbl.replace tbl k { obj; last_use = !tick }
+  end
+
+let length () = Hashtbl.length tbl
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Store.set_capacity";
+  capacity := n;
+  while Hashtbl.length tbl > !capacity do
+    evict_lru ()
+  done
+
+let get_capacity () = !capacity
+
+let clear () =
+  Hashtbl.reset tbl;
+  tick := 0
+
+let find_or_lower ~ir_digest ~pipeline ~config ~seed lower =
+  let k = key ~ir_digest ~pipeline ~config ~seed in
+  match lookup k with
+  | Some o -> o
+  | None ->
+      let o = lower () in
+      insert k o;
+      o

@@ -1,0 +1,47 @@
+(** The content-addressed function-level artifact store.
+
+    Maps the full provenance of a lowered function — optimized-IR digest
+    × pipeline description × diversification config × seed × object
+    {!Objfile.format_version} — to its relocatable object, so rebuilding
+    a program (or a 25-variant population) re-runs
+    isel/liveness/regalloc/emit only for functions whose key actually
+    changed; everything else is a store hit and the build reduces to NOP
+    insertion plus relink.  Undiversified lowering uses the neutral
+    config ["-"]/seed [0]: lowering is diversification-independent, so
+    every config shares one artifact per function.
+
+    Process-wide and bounded: least-recently-used entries are evicted
+    once {!get_capacity} is reached.  Every operation lands in
+    {!Metrics} as [obj.store.hit], [obj.store.miss] or
+    [obj.store.evict], which is what the incremental bench and the CI
+    rebuild-smoke assert on. *)
+
+val key :
+  ir_digest:string -> pipeline:string -> config:string -> seed:int64 -> string
+(** The store key; folds in {!Objfile.format_version} so a format bump
+    invalidates rather than resurrects. *)
+
+val lookup : string -> Objfile.func_obj option
+(** Counted as a hit or a miss. *)
+
+val insert : string -> Objfile.func_obj -> unit
+(** No-op if the key is already present; evicts the LRU entry (counted)
+    when at capacity. *)
+
+val find_or_lower :
+  ir_digest:string ->
+  pipeline:string ->
+  config:string ->
+  seed:int64 ->
+  (unit -> Objfile.func_obj) ->
+  Objfile.func_obj
+(** Look up, or run the thunk and memoize its result. *)
+
+val length : unit -> int
+val get_capacity : unit -> int
+
+val set_capacity : int -> unit
+(** Shrinks evict immediately.  Raises [Invalid_argument] on [n < 1]. *)
+
+val clear : unit -> unit
+(** Drop every entry (counters in {!Metrics} are untouched). *)

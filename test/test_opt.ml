@@ -339,6 +339,9 @@ let test_custom_pipeline_matches_o2 () =
     (List.fold_left (fun n f -> n + Pipeline.ir_size f) 0 mc.Ir.funcs)
 
 let test_pass_stats_accounting () =
+  (* Per-stage stats record work actually performed, so a function served
+     by the artifact store leaves no machine rows — compile cold. *)
+  Store.clear ();
   let c = Driver.compile ~name:"stats-test" opt_demo_src in
   let stats = Cctx.stats c.Driver.cctx in
   let ir_stats =
