@@ -141,10 +141,25 @@ let measure_row (p : Suite.prepared) =
       in
       let base_prof = Simprof.of_result p.Suite.baseline base in
       let hot = hot_blocks base_prof in
+      (* Production profiling cost: the same baseline run with cycle
+         sampling on at the deployment period.  Sampling only ever adds
+         [sample_cost] cycles per sample, so its overhead is exactly the
+         recorded [sample_overhead_cycles] — modeled, deterministic, and
+         pinned by the perf gate. *)
+      let sampled =
+        Driver.run_image p.Suite.baseline
+          ~sample_period:Sim.default_sample_period ~args:w.Workload.ref_args
+      in
+      let sampling_overhead_pct =
+        let sp = Option.get sampled.Sim.sample_profile in
+        Suite.pct
+          (sp.Sim.sample_overhead_cycles
+          /. (sampled.Sim.cycles -. sp.Sim.sample_overhead_cycles))
+      in
       let per_config =
         List.map (fun c -> (fst c, measure_config p ~base ~hot c)) Suite.configs
       in
-      (base, per_config))
+      (base, sampling_overhead_pct, per_config))
 
 let run () =
   Format.printf
@@ -167,7 +182,7 @@ let run () =
       (List.map2
          (fun p -> function
            | None -> []
-           | Some (base, per_config) ->
+           | Some (base, sampling_overhead_pct, per_config) ->
                let w = p.Suite.workload in
                Format.printf "%-16s %10s %10s %10s %10s %10s@." w.Workload.name
                  "overhead" "nops" "hot-share" "hot-dens" "cold-dens";
@@ -178,7 +193,8 @@ let run () =
                      a.overhead_pct a.nops_retired a.hot_nop_share_pct
                      a.hot_density_pct a.cold_density_pct)
                  per_config;
-               [ (w, base, per_config) ])
+               Format.printf "  %-14s %9.3f%%@." "sampling" sampling_overhead_pct;
+               [ (w, base, sampling_overhead_pct, per_config) ])
          prepared measured)
   in
   Suite.hr Format.std_formatter;
@@ -188,7 +204,7 @@ let run () =
       (fun cname ->
         let factors =
           List.map
-            (fun (_, _, per_config) ->
+            (fun (_, _, _, per_config) ->
               1.0 +. ((List.assoc cname per_config).overhead_pct /. 100.0))
             rows
         in
@@ -201,13 +217,16 @@ let run () =
   let json =
     Jsonw.Obj
       [
-        ("schema", Jsonw.Str "psd-bench-telemetry/1");
+        ("schema", Jsonw.Str "psd-bench-telemetry/2");
         ("versions", Jsonw.int !Suite.perf_versions);
         ("hot_insn_share_target", Jsonw.Float hot_share_target);
+        ("sample_period", Jsonw.int Sim.default_sample_period);
         ( "workloads",
           Jsonw.List
             (List.map
-               (fun ((w : Workload.t), (base : Sim.result), per_config) ->
+               (fun
+                 ((w : Workload.t), (base : Sim.result), sampling, per_config)
+               ->
                  Jsonw.Obj
                    [
                      ("name", Jsonw.Str w.name);
@@ -218,6 +237,7 @@ let run () =
                            ("cycles", Jsonw.Float base.Sim.cycles);
                            ( "icache_misses",
                              Jsonw.Int base.Sim.icache_misses );
+                           ("sampling_overhead_pct", Jsonw.Float sampling);
                          ] );
                      ( "configs",
                        Jsonw.List (List.map attribution_json per_config) );

@@ -10,11 +10,14 @@
      dune exec bench/main.exe -- --trace bench.trace telemetry
 
    Experiments: table1 figure4 table2 table3 php-attack heuristic
-   ablation micro fuzz-coverage telemetry parallel-scaling incremental.
+   ablation micro fuzz-coverage telemetry parallel-scaling incremental
+   pgo-loop.
    The telemetry experiment writes the machine-readable report (default
    BENCH_PR2.json, see --out); parallel-scaling writes its own (default
    BENCH_PR4.json, see --scaling-out); incremental writes the cold/warm
-   rebuild report (default BENCH_PR5.json, see --incremental-out).
+   rebuild report (default BENCH_PR5.json, see --incremental-out);
+   pgo-loop writes the closed-loop stability report (default
+   BENCH_PR7.json, see --pgo-out).
    --jobs N|auto runs each
    experiment's workload grid on the parallel pool — reports are
    byte-identical at every -j.  Any failed cell or experiment is
@@ -34,13 +37,14 @@ let experiments =
     ("telemetry", Exp_telemetry.run);
     ("parallel-scaling", Exp_scaling.run);
     ("incremental", Exp_incremental.run);
+    ("pgo-loop", Exp_pgo.run);
   ]
 
 let usage () =
   Format.printf
     "usage: main.exe [--versions N] [--workloads A,B,..] [--jobs N|auto] \
      [--trace FILE] [--out FILE] [--scaling-out FILE] [--incremental-out \
-     FILE] [experiment...]@.";
+     FILE] [--pgo-out FILE] [experiment...]@.";
   Format.printf "experiments: %s@."
     (String.concat " " (List.map fst experiments));
   exit 1
@@ -85,6 +89,9 @@ let () =
         parse selected rest
     | "--incremental-out" :: file :: rest ->
         Suite.incremental_out := file;
+        parse selected rest
+    | "--pgo-out" :: file :: rest ->
+        Suite.pgo_out := file;
         parse selected rest
     | ("-h" | "--help") :: _ -> usage ()
     | name :: rest ->

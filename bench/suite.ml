@@ -45,6 +45,9 @@ let scaling_out = ref "BENCH_PR4.json"
 (* Where the incremental-build experiment writes its report. *)
 let incremental_out = ref "BENCH_PR5.json"
 
+(* Where the PGO-loop experiment writes its report. *)
+let pgo_out = ref "BENCH_PR7.json"
+
 (* Worker count for the experiment grids (bench's --jobs flag).  Serial
    by default; the pool's serial path is the reference semantics, so
    "--jobs 1" and "--jobs N" produce byte-identical reports. *)

@@ -21,8 +21,17 @@
      minicc compile prog.mc --trace compile.trace # Chrome trace-event
                                                   # spans (any command)
      minicc profile prog.mc --args 5,10 -o prog.prof
+     minicc profile record prog.div.bin --args 5,10 -o prog.psdprof
+                                                  # sampled production
+                                                  # profile of whatever
+                                                  # binary actually runs
+     minicc profile merge -o fleet.psdprof a.psdprof b.psdprof
+     minicc profile show fleet.psdprof --top 10
+     minicc profile diff fleet.psdprof prog.prof  # staleness vs fresh
      minicc diversify prog.mc --profile prog.prof --config p0-30 \
             --variant 3 -o prog.div.bin
+     minicc diversify prog.mc --sampled-profile fleet.psdprof \
+            --config p0-30 -o prog.div2.bin       # the closed PGO loop
      minicc gadgets prog.bin                      # gadget census
      minicc survivor prog.bin prog.div.bin        # Survivor comparison
      minicc attack prog.bin --scanner ropgadget   # feasibility check
@@ -281,19 +290,68 @@ let sim_profile_arg =
            modeled cycles) and print it as a pprof-style $(b,table) \
            (default) or $(b,json).")
 
+let sample_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some Sim.default_sample_period) (some int) None
+    & info [ "sim-profile-sample" ] ~docv:"PERIOD"
+        ~doc:
+          (Printf.sprintf
+             "Record a PC sample every $(docv) retired cycles (default \
+              %d) — production-style profiling with a modeled overhead — \
+              and print the back-mapped (function, block) sample table. \
+              Use $(b,minicc profile record) to persist the recording."
+             Sim.default_sample_period))
+
+let top_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "top" ] ~docv:"N"
+        ~doc:"Truncate profile tables to the $(docv) hottest rows.")
+
+let die fmt =
+  Format.kasprintf
+    (fun msg ->
+      Format.eprintf "minicc: %s@." msg;
+      exit 1)
+    fmt
+
+(* Reject a non-positive sampling period here rather than letting
+   [Sim.run] raise an uncaught Invalid_argument. *)
+let validate_period = function
+  | Some n when n <= 0 -> die "sample period must be positive (got %d)" n
+  | p -> p
+
+let load_image path =
+  try Link.load path
+  with Failure msg ->
+    Format.eprintf "minicc: %s@." msg;
+    exit 1
+
+let print_sampled ?top image binary (r : Sim.result) =
+  match r.Sim.sample_profile with
+  | None -> ()
+  | Some sp ->
+      let sprof =
+        Sprof.of_run ~image ~workload:(Filename.basename binary) r
+      in
+      Format.printf
+        "[sampled: %Ld samples at period %.0f, overhead %.3f%%]@."
+        sp.Sim.samples_taken sp.Sim.period
+        (100.0 *. sp.Sim.sample_overhead_cycles
+        /. Float.max 1.0 (r.Sim.cycles -. sp.Sim.sample_overhead_cycles));
+      Format.printf "%a" (Sprof.pp ?top) sprof
+
 let run_cmd =
-  let run binary args sim_profile trace =
+  let run binary args sim_profile sample top trace =
     with_trace trace (fun () ->
-        let image =
-          try Link.load binary
-          with Failure msg ->
-            Format.eprintf "minicc: %s@." msg;
-            exit 1
-        in
+        let image = load_image binary in
         let r =
           try
             Driver.run_image image
               ~profile:(sim_profile <> None)
+              ?sample_period:(validate_period sample)
               ~args:(parse_args args)
           with Sim.Fault msg ->
             Format.eprintf "minicc: fault: %s@." msg;
@@ -302,19 +360,42 @@ let run_cmd =
         print_string r.Sim.output;
         Format.printf "[status %ld, %Ld instructions, %.0f cycles]@."
           r.Sim.status r.Sim.instructions r.Sim.cycles;
-        match sim_profile with
+        (match sim_profile with
         | None -> ()
         | Some fmt -> (
             let prof = Simprof.of_result image r in
             match fmt with
-            | `Table -> Format.printf "%a" Simprof.pp_flat prof
-            | `Json -> print_endline (Simprof.to_json prof)))
+            | `Table -> Format.printf "%a" (Simprof.pp_flat ?top) prof
+            | `Json -> print_endline (Simprof.to_json ?top prof)));
+        print_sampled ?top image binary r)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a binary image in the CPU simulator.")
-    Term.(const run $ source_arg $ args_arg $ sim_profile_arg $ trace_arg)
+    Term.(
+      const run $ source_arg $ args_arg $ sim_profile_arg $ sample_arg
+      $ top_arg $ trace_arg)
 
-let profile_cmd =
+(* ---- the profile group: the exact training path (default command) and
+   the sampled production path (record / merge / show / diff) ---- *)
+
+let psdprof_output_arg = output_arg ~default:"a.psdprof"
+
+let period_arg =
+  Arg.(
+    value
+    & opt int Sim.default_sample_period
+    & info [ "period" ] ~docv:"CYCLES"
+        ~doc:
+          (Printf.sprintf "Cycles between PC samples (default %d)."
+             Sim.default_sample_period))
+
+let load_sprof path =
+  try Sprof.load path
+  with Failure msg ->
+    Format.eprintf "minicc: %s@." msg;
+    exit 1
+
+let profile_train_term =
   let run source output args build trace =
     with_trace trace (fun () ->
         let c = compile_source ~build source in
@@ -325,12 +406,171 @@ let profile_cmd =
         Format.printf "%s: max block count %Ld@." output
           (Profile.max_count profile))
   in
+  Term.(
+    const run $ source_arg $ output_arg ~default:"a.prof" $ args_arg
+    $ build_term $ trace_arg)
+
+let profile_record_cmd =
+  let workload_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:
+            "Workload name recorded in the provenance (default: the \
+             binary's basename).")
+  in
+  let config_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "config" ] ~docv:"NAME"
+          ~doc:"Diversification config recorded in the provenance.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int64 0L
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Diversification seed recorded in the provenance.")
+  in
+  let run binary output args period workload config seed trace =
+    with_trace trace (fun () ->
+        let image = load_image binary in
+        let workload =
+          Option.value workload ~default:(Filename.basename binary)
+        in
+        let period =
+          Option.get (validate_period (Some period))
+        in
+        let sprof, r =
+          try
+            Driver.record_profile ~sample_period:period ~config ~seed image
+              ~workload ~args:(parse_args args)
+          with Sim.Fault msg ->
+            Format.eprintf "minicc: fault: %s@." msg;
+            exit 1
+        in
+        print_string r.Sim.output;
+        Sprof.save sprof output;
+        let sp = Option.get r.Sim.sample_profile in
+        Format.printf
+          "%s: %Ld samples at period %.0f (overhead %.3f%%), %d rows@."
+          output sp.Sim.samples_taken sp.Sim.period
+          (100.0 *. sp.Sim.sample_overhead_cycles
+          /. Float.max 1.0 (r.Sim.cycles -. sp.Sim.sample_overhead_cycles))
+          (Hashtbl.length sprof.Sprof.rows))
+  in
   Cmd.v
-    (Cmd.info "profile"
-       ~doc:"Run the training input and write the execution profile.")
+    (Cmd.info "record"
+       ~doc:
+         "Run a binary (diversified or not) with cycle-sampled profiling \
+          and write the back-mapped recording as a $(b,.psdprof) file.")
     Term.(
-      const run $ source_arg $ output_arg ~default:"a.prof" $ args_arg
-      $ build_term $ trace_arg)
+      const run $ source_arg $ psdprof_output_arg $ args_arg $ period_arg
+      $ workload_arg $ config_arg $ seed_arg $ trace_arg)
+
+let profile_merge_cmd =
+  let inputs_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"PSDPROF")
+  in
+  let weights_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "weights" ] ~docv:"FLOATS"
+          ~doc:
+            "Comma-separated per-input merge weights (default: 1 for \
+             every input).")
+  in
+  let run inputs output weights =
+    let weights =
+      if String.trim weights = "" then List.map (fun _ -> 1.0) inputs
+      else
+        List.map
+          (fun tok ->
+            match float_of_string_opt (String.trim tok) with
+            | Some w when w >= 0.0 -> w
+            | _ -> die "bad --weights value: %s" tok)
+          (String.split_on_char ',' weights)
+    in
+    if List.length weights <> List.length inputs then
+      die "--weights count (%d) must match the number of inputs (%d)"
+        (List.length weights) (List.length inputs);
+    let merged =
+      List.fold_left2
+        (fun acc path w -> Sprof.merge acc (load_sprof path) ~weight:w)
+        Sprof.empty inputs weights
+    in
+    Sprof.save merged output;
+    Format.printf "%s: merged %d recording(s), %d rows@." output
+      (List.length merged.Sprof.sources)
+      (Hashtbl.length merged.Sprof.rows)
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Merge sampled recordings (optionally weighted) into one \
+          $(b,.psdprof), preserving every source's provenance.")
+    Term.(const run $ inputs_arg $ psdprof_output_arg $ weights_arg)
+
+let profile_show_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable output.")
+  in
+  let run path top json =
+    let sprof = load_sprof path in
+    if json then print_endline (Sprof.to_json ?top sprof)
+    else Format.printf "%a" (Sprof.pp ?top) sprof
+  in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"Print a sampled recording: provenance, then the mass table.")
+    Term.(const run $ source_arg $ top_arg $ json_arg)
+
+let profile_diff_cmd =
+  let fresh_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"FRESH")
+  in
+  let run path fresh_path =
+    let sprof = load_sprof path in
+    (* The reference side is either an exact training profile (the text
+       format `minicc profile` writes) or another sampled recording. *)
+    let fresh =
+      try Sprof.to_profile (Sprof.load fresh_path)
+      with Failure _ -> (
+        try Profile.of_string (read_file fresh_path)
+        with Failure msg ->
+          Format.eprintf "minicc: %s: %s@." fresh_path msg;
+          exit 1)
+    in
+    Format.printf "%a" Sprof.pp_staleness (Sprof.staleness ~fresh sprof)
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Staleness of a sampled recording against a reference profile \
+          (exact $(b,.prof) or sampled $(b,.psdprof)): block coverage, \
+          weighted hot-set overlap, per-function drift.")
+    Term.(const run $ source_arg $ fresh_arg)
+
+let profile_train_cmd =
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:
+         "Run the training input under the instrumented interpreter and \
+          write the exact execution profile (also the default when \
+          $(b,SOURCE) is given directly).")
+    profile_train_term
+
+let profile_subcommands = [ "train"; "record"; "merge"; "show"; "diff" ]
+
+let profile_cmd =
+  Cmd.group ~default:profile_train_term
+    (Cmd.info "profile"
+       ~doc:
+         "Training profiles: run the training input and write the exact \
+          execution profile (default), or $(b,record)/$(b,merge)/\
+          $(b,show)/$(b,diff) sampled production profiles.")
+    [ profile_train_cmd; profile_record_cmd; profile_merge_cmd;
+      profile_show_cmd; profile_diff_cmd ]
 
 let diversify_cmd =
   let profile_arg =
@@ -347,13 +587,25 @@ let diversify_cmd =
   let version_arg =
     Arg.(value & opt int 0 & info [ "n"; "variant" ] ~docv:"N" ~doc:"Version index (seed).")
   in
-  let run source output profile_path config version build stats trace =
+  let sampled_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "sampled-profile" ] ~docv:"FILE"
+          ~doc:
+            "Sampled production recording (from $(b,profile record) / \
+             $(b,profile merge)) to train from instead of an exact \
+             $(b,--profile) — the closed PGO loop.")
+  in
+  let run source output profile_path sampled_path config version build stats
+      trace =
     with_trace trace (fun () ->
         let c = compile_source ~build source in
         let profile =
-          match profile_path with
-          | Some p -> Profile.of_string (read_file p)
-          | None -> Profile.empty
+          match (sampled_path, profile_path) with
+          | Some sp, _ -> Driver.train_from_profile c (load_sprof sp)
+          | None, Some p -> Profile.of_string (read_file p)
+          | None, None -> Profile.empty
         in
         let config = parse_config config in
         (match config.Config.strategy with
@@ -373,7 +625,8 @@ let diversify_cmd =
     (Cmd.info "diversify" ~doc:"Build one diversified version of a program.")
     Term.(
       const run $ source_arg $ output_arg ~default:"a.div.bin" $ profile_arg
-      $ config_arg $ version_arg $ build_term $ pass_stats_arg $ trace_arg)
+      $ sampled_arg $ config_arg $ version_arg $ build_term $ pass_stats_arg
+      $ trace_arg)
 
 let gadgets_cmd =
   let run binary =
@@ -465,28 +718,36 @@ let workload_cmd =
   let ref_arg =
     Arg.(value & flag & info [ "ref" ] ~doc:"Use the ref input (default: train).")
   in
-  let run name use_ref sim_profile trace =
+  let run name use_ref sim_profile sample top trace =
     with_trace trace (fun () ->
         let w = Workloads.find name in
         let c = Driver.compile ~name:w.Workload.name w.source in
         let args = if use_ref then w.ref_args else w.train_args in
         let image = Driver.link_baseline c in
-        let r = Driver.run_image image ~profile:(sim_profile <> None) ~args in
+        let r =
+          Driver.run_image image
+            ~profile:(sim_profile <> None)
+            ?sample_period:(validate_period sample)
+            ~args
+        in
         print_string r.Sim.output;
         Format.printf "[%s %s: status %ld, %Ld instructions]@." w.name
           (if use_ref then "ref" else "train")
           r.Sim.status r.Sim.instructions;
-        match sim_profile with
+        (match sim_profile with
         | None -> ()
         | Some fmt -> (
             let prof = Simprof.of_result image r in
             match fmt with
-            | `Table -> Format.printf "%a" Simprof.pp_flat prof
-            | `Json -> print_endline (Simprof.to_json prof)))
+            | `Table -> Format.printf "%a" (Simprof.pp_flat ?top) prof
+            | `Json -> print_endline (Simprof.to_json ?top prof)));
+        print_sampled ?top image w.name r)
   in
   Cmd.v
     (Cmd.info "workload" ~doc:"Run a benchmark-suite program by name.")
-    Term.(const run $ name_arg $ ref_arg $ sim_profile_arg $ trace_arg)
+    Term.(
+      const run $ name_arg $ ref_arg $ sim_profile_arg $ sample_arg $ top_arg
+      $ trace_arg)
 
 let fuzz_cmd =
   let count_arg =
@@ -578,8 +839,27 @@ let fuzz_cmd =
 let () =
   let doc = "profile-guided software diversity compiler (CGO'13 reproduction)" in
   let info = Cmd.info "minicc" ~version:"1.0" ~doc in
+  (* Back-compat: `minicc profile prog.mc ...` predates the subcommand
+     group; rewrite it to `profile train prog.mc ...` so the group
+     doesn't mistake the source file for a subcommand name. *)
+  let argv =
+    let argv = Sys.argv in
+    if
+      Array.length argv >= 3
+      && String.equal argv.(1) "profile"
+      && String.length argv.(2) > 0
+      && argv.(2).[0] <> '-'
+      && not (List.mem argv.(2) profile_subcommands)
+    then
+      Array.concat
+        [
+          [| argv.(0); "profile"; "train" |];
+          Array.sub argv 2 (Array.length argv - 2);
+        ]
+    else argv
+  in
   exit
-    (Cmd.eval
+    (Cmd.eval ~argv
        (Cmd.group info
           [
             compile_cmd; link_cmd; run_cmd; profile_cmd; diversify_cmd;

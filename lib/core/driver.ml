@@ -254,5 +254,44 @@ let population c ~config ~profile ~n =
 
 let run_ir c ~args = Interp.run c.modul ~entry:"main" ~args
 
-let run_image ?fuel ?profile image ~args =
-  Trace.with_span "simulate" (fun () -> Sim.run ?fuel ?profile image ~args)
+let run_image ?fuel ?profile ?sample_period image ~args =
+  Trace.with_span "simulate" (fun () ->
+      Sim.run ?fuel ?profile ?sample_period image ~args)
+
+let record_profile ?fuel ?(sample_period = Sim.default_sample_period) ?config
+    ?seed image ~workload ~args =
+  let r =
+    Trace.with_span "record-profile"
+      ~args:[ ("workload", workload) ]
+      (fun () -> Sim.run ?fuel ~sample_period image ~args)
+  in
+  (Sprof.of_run ~image ?config ?seed ~workload r, r)
+
+let train_from_profile ?fresh ?previous c (sp : Sprof.t) =
+  Trace.with_span "train-from-profile"
+    ~args:[ ("program", c.name) ]
+    (fun () ->
+      Metrics.incr (Metrics.counter "driver.train_from_profile");
+      (match fresh with
+      | None -> ()
+      | Some fresh ->
+          let s = Sprof.staleness ~fresh sp in
+          Metrics.observe
+            (Metrics.histogram "pgo.staleness.coverage_pct")
+            s.coverage_pct;
+          Metrics.observe
+            (Metrics.histogram "pgo.staleness.hot_overlap_pct")
+            s.hot_overlap_pct;
+          Metrics.observe
+            (Metrics.histogram "pgo.staleness.mean_drift_pct")
+            s.mean_drift_pct;
+          Metrics.observe
+            (Metrics.histogram "pgo.staleness.max_drift_pct")
+            s.max_drift_pct);
+      match previous with
+      | Some prev when not (Sprof.materially_drifted ~previous:prev sp) ->
+          Metrics.incr (Metrics.counter "pgo.retrain.kept");
+          prev
+      | _ ->
+          Metrics.incr (Metrics.counter "pgo.retrain.applied");
+          Sprof.to_profile sp)

@@ -119,6 +119,45 @@ val run_ir : compiled -> args:int32 list -> Interp.result
 (** Execute the optimized IR under the reference interpreter. *)
 
 val run_image :
-  ?fuel:int64 -> ?profile:bool -> Link.image -> args:int32 list -> Sim.result
+  ?fuel:int64 ->
+  ?profile:bool ->
+  ?sample_period:int ->
+  Link.image ->
+  args:int32 list ->
+  Sim.result
 (** Execute a linked binary under the CPU simulator.  [profile] collects
-    the per-offset runtime {!Sim.exec_profile} (see {!Simprof}). *)
+    the per-offset runtime {!Sim.exec_profile} (see {!Simprof});
+    [sample_period] additionally records a cycle-sampled
+    {!Sim.sample_profile} (see {!Sprof}). *)
+
+val record_profile :
+  ?fuel:int64 ->
+  ?sample_period:int ->
+  ?config:string ->
+  ?seed:int64 ->
+  Link.image ->
+  workload:string ->
+  args:int32 list ->
+  Sprof.t * Sim.result
+(** One production-style profiling run: execute the (possibly
+    diversified) binary with cycle sampling on (default period
+    {!Sim.default_sample_period}) and back-map the samples into a
+    {!Sprof.t} recording.  [config]/[seed] label the provenance with the
+    diversification that produced the image. *)
+
+val train_from_profile :
+  ?fresh:Profile.t -> ?previous:Profile.t -> compiled -> Sprof.t -> Profile.t
+(** The production side of the §3.1 loop: derive the training profile
+    for {!diversify} from a recorded (loaded, merged, possibly stale,
+    possibly cross-variant) sampled profile instead of an instrumented
+    interpreter run — {!Sprof.to_profile} with telemetry.  When [fresh]
+    is given (an exact training profile of the same program), exports
+    staleness telemetry through {!Obs.Metrics}: histograms
+    [pgo.staleness.coverage_pct], [pgo.staleness.hot_overlap_pct],
+    [pgo.staleness.mean_drift_pct] and [pgo.staleness.max_drift_pct].
+    When [previous] is given (the profile the running binary was trained
+    on), applies retrain-on-drift hysteresis: if the recording has not
+    {!Sprof.materially_drifted} from [previous], returns [previous]
+    unchanged (counter [pgo.retrain.kept]) so the loop redeploys nothing
+    on sampling noise; otherwise returns the freshly quantized profile
+    (counter [pgo.retrain.applied]). *)

@@ -37,6 +37,7 @@ let observe h v =
       h.n <- h.n + 1)
 
 let histogram_count h = h.n
+let histogram_values h = List.rev h.values
 
 let reset () =
   Lock.protect lock (fun () ->

@@ -29,6 +29,10 @@ val observe : histogram -> float -> unit
 
 val histogram_count : histogram -> int
 
+val histogram_values : histogram -> float list
+(** Every recorded observation, oldest first — for callers (tests, the
+    bench experiments) that need the raw series, not the summary. *)
+
 val reset : unit -> unit
 (** Zero every counter and empty every histogram (the registry itself —
     names — survives).  The bench suite resets between runs so a dump

@@ -7,14 +7,23 @@ let collect ?fuel m ~entry ~args =
   let r = Interp.run ?fuel m ~entry ~args in
   of_block_counts r.Interp.counts.blocks
 
-let merge a b =
+let merge ?(weight = 1.0) a b =
+  if weight < 0.0 then invalid_arg "Profile.merge: negative weight";
+  let scale v =
+    if weight = 1.0 then v
+    else Int64.of_float (Float.round (weight *. Int64.to_float v))
+  in
   let counts = Hashtbl.copy a.counts in
   Hashtbl.iter
     (fun k v ->
-      let old = Option.value (Hashtbl.find_opt counts k) ~default:0L in
-      Hashtbl.replace counts k (Int64.add old v))
+      let v = scale v in
+      if Int64.compare v 0L > 0 then
+        let old = Option.value (Hashtbl.find_opt counts k) ~default:0L in
+        Hashtbl.replace counts k (Int64.add old v))
     b.counts;
   { counts }
+
+let fold f t acc = Hashtbl.fold (fun k v acc -> f k v acc) t.counts acc
 
 let collect_many ?fuel m ~entry ~args_list =
   List.fold_left

@@ -32,8 +32,17 @@ val max_count : t -> int64
 val max_count_func : t -> string -> int64
 (** The largest count within one function. *)
 
-val merge : t -> t -> t
-(** Pointwise sum. *)
+val merge : ?weight:float -> t -> t -> t
+(** Pointwise sum.  [weight] (default 1) scales the {e second} profile's
+    counts before adding — the cross-run weighting the sampled-profile
+    pipeline uses when some recordings should count for more (longer
+    runs, more trusted workloads).  Scaled counts are rounded to the
+    nearest integer; entries that round to zero are dropped (below the
+    profile's resolution).  Raises [Invalid_argument] on a negative
+    weight. *)
+
+val fold : (string * Ir.label -> int64 -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over every (function, block) count, in unspecified order. *)
 
 val is_empty : t -> bool
 

@@ -4,6 +4,15 @@ type exec_profile = {
   cycle_counts : float array;
 }
 
+type sample_profile = {
+  period : float;
+  sample_counts : int64 array;
+  samples_taken : int64;
+  sample_overhead_cycles : float;
+}
+
+let default_sample_period = 1000
+
 type result = {
   status : int32;
   output : string;
@@ -12,6 +21,7 @@ type result = {
   cycles : float;
   icache_misses : int64;
   exec_profile : exec_profile option;
+  sample_profile : sample_profile option;
 }
 
 exception Fault of string
@@ -45,6 +55,15 @@ type state = {
   mutable status : int32;
   fuel : int64;
   prof : exec_profile option;  (* per-text-offset execution counters *)
+  samp : sample_state option;  (* cycle-sampled PC recording *)
+}
+
+and sample_state = {
+  s_period : float;  (* cycles between samples *)
+  s_counts : int64 array;  (* per text offset: samples landing there *)
+  mutable s_taken : int64;
+  mutable s_next : float;  (* cycle threshold of the next sample *)
+  mutable s_overhead : float;  (* cycles charged for taking samples *)
 }
 
 let data_base_i = Int32.to_int Link.data_base
@@ -394,10 +413,30 @@ let step st =
       p.insn_counts.(off) <- Int64.add p.insn_counts.(off) 1L;
       if is_nop then p.nop_counts.(off) <- Int64.add p.nop_counts.(off) 1L;
       p.cycle_counts.(off) <- p.cycle_counts.(off) +. (st.cycles -. c0));
+  (match st.samp with
+  | None -> ()
+  | Some s ->
+      (* Every [s_period]-th retired cycle records the PC of the
+         instruction retiring when the threshold is crossed — the
+         simulator's model of a perf-style cycle-sampling interrupt.
+         The number of samples due is computed before the sampling cost
+         itself is charged, so a period smaller than the per-sample cost
+         cannot re-trigger within the same step. *)
+      if st.cycles >= s.s_next then begin
+        let due =
+          1 + int_of_float ((st.cycles -. s.s_next) /. s.s_period)
+        in
+        s.s_counts.(off) <- Int64.add s.s_counts.(off) (Int64.of_int due);
+        s.s_taken <- Int64.add s.s_taken (Int64.of_int due);
+        s.s_next <- s.s_next +. (float_of_int due *. s.s_period);
+        let cost = float_of_int due *. st.model.sample_cost in
+        s.s_overhead <- s.s_overhead +. cost;
+        st.cycles <- st.cycles +. cost
+      end);
   exec_insn st i len
 
-let make_state ?(model = Timing.default) ?(profile = false) ~fuel
-    (image : Link.image) =
+let make_state ?(model = Timing.default) ?(profile = false) ?sample_period
+    ~fuel (image : Link.image) =
   let prof =
     if not profile then None
     else
@@ -408,6 +447,21 @@ let make_state ?(model = Timing.default) ?(profile = false) ~fuel
           nop_counts = Array.make n 0L;
           cycle_counts = Array.make n 0.0;
         }
+  in
+  let samp =
+    match sample_period with
+    | None -> None
+    | Some p when p <= 0 ->
+        invalid_arg "Sim: sample_period must be positive"
+    | Some p ->
+        Some
+          {
+            s_period = float_of_int p;
+            s_counts = Array.make (max 1 (String.length image.text)) 0L;
+            s_taken = 0L;
+            s_next = float_of_int p;
+            s_overhead = 0.0;
+          }
   in
   {
     regs = Array.make 8 0l;
@@ -431,6 +485,7 @@ let make_state ?(model = Timing.default) ?(profile = false) ~fuel
     status = 0l;
     fuel;
     prof;
+    samp;
   }
 
 let init_data st (image : Link.image) =
@@ -445,6 +500,25 @@ let finish st =
   Metrics.incr ~by:st.instructions (Metrics.counter "sim.instructions");
   Metrics.incr ~by:st.nops (Metrics.counter "sim.nops_retired");
   Metrics.incr ~by:st.misses (Metrics.counter "sim.icache_misses");
+  let sample_profile =
+    match st.samp with
+    | None -> None
+    | Some s ->
+        Metrics.incr (Metrics.counter "sim.sampled_runs");
+        Metrics.incr ~by:s.s_taken (Metrics.counter "sim.samples");
+        let base = st.cycles -. s.s_overhead in
+        if base > 0.0 then
+          Metrics.observe
+            (Metrics.histogram "sim.sample_overhead_pct")
+            (100.0 *. s.s_overhead /. base);
+        Some
+          {
+            period = s.s_period;
+            sample_counts = s.s_counts;
+            samples_taken = s.s_taken;
+            sample_overhead_cycles = s.s_overhead;
+          }
+  in
   {
     status = st.status;
     output = Buffer.contents st.out;
@@ -453,17 +527,18 @@ let finish st =
     cycles = st.cycles;
     icache_misses = st.misses;
     exec_profile = st.prof;
+    sample_profile;
   }
 
-let run ?model ?(fuel = Int64.shift_left 1L 40) ?profile (image : Link.image)
-    ~args =
+let run ?model ?(fuel = Int64.shift_left 1L 40) ?profile ?sample_period
+    (image : Link.image) ~args =
   if List.length args > Libc.argv_words then
     invalid_arg "Sim.run: too many arguments";
   if List.length args <> image.main_arity then
     invalid_arg
       (Printf.sprintf "Sim.run: main expects %d args, got %d" image.main_arity
          (List.length args));
-  let st = make_state ?model ?profile ~fuel image in
+  let st = make_state ?model ?profile ?sample_period ~fuel image in
   init_data st image;
   (* Write the arguments where the entry stub looks for them. *)
   let argv = Int32.to_int (Link.argv_address image) lsr 2 in

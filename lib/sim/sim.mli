@@ -26,6 +26,27 @@ type exec_profile = {
     nonzero).  {!Simprof} maps it back through the image's layout symbols
     to per-function and per-block attributions. *)
 
+type sample_profile = {
+  period : float;  (** cycles between samples, as configured *)
+  sample_counts : int64 array;
+      (** per text offset: PC samples attributed there *)
+  samples_taken : int64;
+  sample_overhead_cycles : float;
+      (** modeled profiling cost: {!Timing.model.sample_cost} per sample,
+          already included in the run's [cycles] *)
+}
+(** A cheap cycle-sampled runtime profile, the production-side
+    counterpart of the exact {!exec_profile}: every [period]-th retired
+    cycle records the current PC, exactly like a perf-style sampling
+    interrupt.  {!Sprof} maps it back through the image layout to
+    (function, block) rows, diversified binaries included. *)
+
+val default_sample_period : int
+(** The deployment default (1000 cycles): cheap enough to leave on in
+    production (~1% modeled overhead), dense enough that one ref-input
+    run recovers the hot set.  The CI perf gate pins the overhead at
+    this period. *)
+
 type result = {
   status : int32;  (** exit status (main's return value) *)
   output : string;
@@ -35,6 +56,8 @@ type result = {
   icache_misses : int64;
   exec_profile : exec_profile option;
       (** present iff the run was started with [~profile:true] *)
+  sample_profile : sample_profile option;
+      (** present iff the run was started with [~sample_period] *)
 }
 
 exception Fault of string
@@ -46,6 +69,7 @@ val run :
   ?model:Timing.model ->
   ?fuel:int64 ->
   ?profile:bool ->
+  ?sample_period:int ->
   Link.image ->
   args:int32 list ->
   result
@@ -55,7 +79,11 @@ val run :
     Default [fuel] is [2^40] instructions.  [profile] (default [false])
     collects a per-offset {!exec_profile}; the hook costs three array
     writes per retired instruction when on and one [option] test when
-    off. *)
+    off.  [sample_period] (off by default) additionally records a PC
+    sample every that many retired cycles into a {!sample_profile},
+    charging {!Timing.model.sample_cost} cycles per sample to the run —
+    production-style profiling with a modeled overhead.  Raises
+    [Invalid_argument] if [sample_period <= 0]. *)
 
 val run_at :
   ?model:Timing.model ->

@@ -35,7 +35,9 @@ let floor_find a off =
   in
   go 0 (n - 1) None
 
-let of_exec (image : Link.image) (p : Sim.exec_profile) =
+(* The image's layout, as binary-searchable tables: symbols sorted by
+   offset, and each function's block-offset table. *)
+let layout_tables (image : Link.image) =
   let syms =
     let a = Array.of_list image.symbols in
     Array.sort (fun (_, a) (_, b) -> compare a b) a;
@@ -51,6 +53,10 @@ let of_exec (image : Link.image) (p : Sim.exec_profile) =
       image.block_offsets;
     tbl
   in
+  (syms, blocks_of)
+
+let of_exec (image : Link.image) (p : Sim.exec_profile) =
+  let syms, blocks_of = layout_tables image in
   (* One accumulator per function, block table inside. *)
   let accs = Hashtbl.create 16 in
   let func_of_offset off =
@@ -103,9 +109,15 @@ let of_exec (image : Link.image) (p : Sim.exec_profile) =
               { label; b_insns = !bi; b_nops = !bn; b_cycles = !bc } :: acc)
             blocks []
         in
+        (* Count descending, label ascending on ties: labels are unique
+           within a function, so the order is total and dumps diff
+           cleanly across runs and -j levels. *)
         let block_rows =
           List.sort
-            (fun a b -> compare (b.b_insns, b.label) (a.b_insns, a.label))
+            (fun a b ->
+              match Int64.compare b.b_insns a.b_insns with
+              | 0 -> compare a.label b.label
+              | c -> c)
             block_rows
         in
         {
@@ -120,8 +132,15 @@ let of_exec (image : Link.image) (p : Sim.exec_profile) =
         :: acc)
       accs []
   in
+  (* Count descending, text offset ascending on ties: offsets are unique
+     per function, so the row order is total. *)
   let rows =
-    List.sort (fun a b -> compare (b.insns, b.fname) (a.insns, a.fname)) rows
+    List.sort
+      (fun a b ->
+        match Int64.compare b.insns a.insns with
+        | 0 -> compare a.offset b.offset
+        | c -> c)
+      rows
   in
   {
     rows;
@@ -138,17 +157,41 @@ let of_result image (r : Sim.result) =
 
 let find t fname = List.find_opt (fun r -> r.fname = fname) t.rows
 
+let locator (image : Link.image) =
+  let syms, blocks_of = layout_tables image in
+  fun off ->
+    let fname =
+      match floor_find syms off with Some (_, f) -> f | None -> "?"
+    in
+    let label =
+      match Hashtbl.find_opt blocks_of fname with
+      | None -> -1
+      | Some a -> (
+          match floor_find a off with Some (_, l) -> l | None -> -1)
+    in
+    (fname, label, off < image.user_start)
+
 let pct part total =
   if Int64.compare total 0L = 0 then 0.0
   else 100.0 *. Int64.to_float part /. Int64.to_float total
 
-let pp_flat ppf t =
+let truncate_rows ?top rows =
+  match top with
+  | None -> rows
+  | Some n -> List.filteri (fun i _ -> i < max 0 n) rows
+
+let pp_flat ?top ppf t =
   Format.fprintf ppf
     "runtime profile: %Ld instructions, %Ld candidate NOPs (%.3f%%), %.0f \
      cycles@."
     t.total_insns t.total_nops
     (pct t.total_nops t.total_insns)
     t.total_cycles;
+  (match top with
+  | Some n when n < List.length t.rows ->
+      Format.fprintf ppf "showing top %d of %d functions@." n
+        (List.length t.rows)
+  | _ -> ());
   Format.fprintf ppf "%12s %7s %7s %10s %7s %12s  %s@." "insns" "flat%" "sum%"
     "nops" "nop%" "cycles" "function";
   let cum = ref 0L in
@@ -161,7 +204,7 @@ let pp_flat ppf t =
         (pct !cum t.total_insns)
         r.nops (pct r.nops r.insns) r.cycles r.fname
         (if r.in_runtime then " [runtime]" else ""))
-    t.rows
+    (truncate_rows ?top t.rows)
 
 let block_json (b : block_row) =
   Jsonw.Obj
@@ -172,19 +215,29 @@ let block_json (b : block_row) =
       ("cycles", Jsonw.Float b.b_cycles);
     ]
 
-let row_json (r : func_row) =
+let row_json ~total ~cum (r : func_row) =
   Jsonw.Obj
     [
       ("function", Jsonw.Str r.fname);
       ("offset", Jsonw.int r.offset);
       ("runtime", Jsonw.Bool r.in_runtime);
       ("insns", Jsonw.Int r.insns);
+      ("flat_pct", Jsonw.Float (pct r.insns total));
+      ("sum_pct", Jsonw.Float (pct cum total));
       ("nops", Jsonw.Int r.nops);
       ("cycles", Jsonw.Float r.cycles);
       ("blocks", Jsonw.List (List.map block_json r.blocks));
     ]
 
-let dump t =
+let dump ?top t =
+  let rows =
+    let cum = ref 0L in
+    List.map
+      (fun r ->
+        cum := Int64.add !cum r.insns;
+        row_json ~total:t.total_insns ~cum:!cum r)
+      (truncate_rows ?top t.rows)
+  in
   Jsonw.Obj
     [
       ("schema", Jsonw.Str "psd-sim-profile/1");
@@ -194,8 +247,9 @@ let dump t =
             ("insns", Jsonw.Int t.total_insns);
             ("nops", Jsonw.Int t.total_nops);
             ("cycles", Jsonw.Float t.total_cycles);
+            ("functions", Jsonw.int (List.length t.rows));
           ] );
-      ("functions", Jsonw.List (List.map row_json t.rows));
+      ("functions", Jsonw.List rows);
     ]
 
-let to_json t = Jsonw.to_string (dump t)
+let to_json ?top t = Jsonw.to_string (dump ?top t)

@@ -28,11 +28,15 @@ type func_row = {
   insns : int64;
   nops : int64;
   cycles : float;
-  blocks : block_row list;  (** sorted by [b_insns] descending *)
+  blocks : block_row list;
+      (** sorted by ([b_insns] descending, [label] ascending) — a total
+          order, so dumps are byte-stable across runs and [-j] levels *)
 }
 
 type t = {
-  rows : func_row list;  (** sorted by [insns] descending *)
+  rows : func_row list;
+      (** sorted by ([insns] descending, [offset] ascending) — offsets
+          are unique, so the order is total and dumps diff cleanly *)
   total_insns : int64;
   total_nops : int64;
   total_cycles : float;
@@ -50,8 +54,22 @@ val of_result : Link.image -> Sim.result -> t
 val find : t -> string -> func_row option
 (** Row of a function, if it executed at all. *)
 
-val pp_flat : Format.formatter -> t -> unit
-(** The pprof-style flat table. *)
+val locator : Link.image -> int -> string * Ir.label * bool
+(** [locator image] precomputes the image's layout tables and returns a
+    total function from text offset to (function, block label,
+    in-runtime).  Offsets before the first block label of their function
+    map to label [-1]; offsets outside any symbol map to ["?"].  This is
+    the back-mapping primitive {!Sprof} uses to attribute PC samples
+    taken on a {e diversified} binary: the image's [block_offsets]
+    describe the diversified layout, so the mapping is NOP-aware by
+    construction. *)
 
-val dump : t -> Jsonw.t
-val to_json : t -> string
+val pp_flat : ?top:int -> Format.formatter -> t -> unit
+(** The pprof-style flat table (flat and cumulative percentages per
+    function).  [top] truncates to the N hottest functions. *)
+
+val dump : ?top:int -> t -> Jsonw.t
+(** Rows carry [flat_pct]/[sum_pct] so truncated dumps remain
+    self-describing; [total.functions] records the untruncated count. *)
+
+val to_json : ?top:int -> t -> string

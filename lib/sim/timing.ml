@@ -12,6 +12,7 @@ type model = {
   icache_lines : int;
   icache_line_bytes : int;
   icache_miss_penalty : float;
+  sample_cost : float;
 }
 
 let default =
@@ -32,6 +33,10 @@ let default =
     (* 512 x 64 B = 32 KiB *)
     icache_line_bytes = 64;
     icache_miss_penalty = 12.0;
+    (* Taking one PC sample costs roughly a timer interrupt plus a
+       counter store — charged to the sampled run only, so production
+       profiling has a modeled, gateable overhead. *)
+    sample_cost = 10.0;
   }
 
 let has_mem_operand (op : Insn.operand) =

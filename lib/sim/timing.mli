@@ -29,6 +29,11 @@ type model = {
   icache_lines : int;  (** direct-mapped line count *)
   icache_line_bytes : int;
   icache_miss_penalty : float;
+  sample_cost : float;
+      (** cycles charged per PC sample when cycle-sampled profiling is on
+          ({!Sim.run} [~sample_period]) — the modeled price of the timer
+          interrupt, so sampled production runs carry a deterministic,
+          gateable profiling overhead *)
 }
 
 val default : model

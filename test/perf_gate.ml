@@ -10,6 +10,11 @@
       max(0.05 percentage points, tolerance% of the baseline value,
       default 2%).  The simulator is deterministic, so the medians are
       machine-independent and a drift is a code change, not noise.
+      Schema/2 reports additionally carry the baseline binary's
+      sampled-profiling overhead at the default period
+      (baseline.sampling_overhead_pct); its median is gated the same
+      way, so the production-profiling cost cannot creep past its
+      committed baseline unnoticed.
 
    Modes:
 
@@ -62,6 +67,22 @@ let medians_of_report json =
     Minijson.(to_list (member "workloads" json));
   List.rev_map (fun name -> (name, median (Hashtbl.find tbl name))) !order
 
+(* Median across workloads of the undiversified baseline's
+   sampled-profiling overhead — [None] for schema/1 reports that predate
+   the field. *)
+let sampling_median_of_report json =
+  let vals =
+    List.filter_map
+      (fun w ->
+        match
+          Minijson.(to_num (member "sampling_overhead_pct" (member "baseline" w)))
+        with
+        | v -> Some v
+        | exception Minijson.Bad _ -> None)
+      Minijson.(to_list (member "workloads" json))
+  in
+  match vals with [] -> None | vs -> Some (median vs)
+
 let parse_report path text =
   match Minijson.parse text with
   | json -> json
@@ -69,12 +90,16 @@ let parse_report path text =
       Printf.printf "FAIL %s is not valid JSON: %s\n" path msg;
       exit 1
 
-let write_baseline ~out medians =
+let write_baseline ~out ~sampling medians =
   let oc = open_out out in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       output_string oc "{\n  \"schema\": \"psd-perf-gate-baseline/1\",\n";
+      (match sampling with
+      | None -> ()
+      | Some s ->
+          Printf.fprintf oc "  \"median_sampling_overhead_pct\": %.6f,\n" s);
       output_string oc "  \"median_overhead_pct\": {\n";
       List.iteri
         (fun i (name, m) ->
@@ -126,14 +151,14 @@ let () =
   let serial_path = match !serial with Some p -> p | None -> usage () in
   let serial_text = read_file serial_path in
   let serial_json = parse_report serial_path serial_text in
+  let scale m = m *. (1.0 +. (!inject /. 100.0)) in
   let medians =
-    List.map
-      (fun (name, m) -> (name, m *. (1.0 +. (!inject /. 100.0))))
-      (medians_of_report serial_json)
+    List.map (fun (name, m) -> (name, scale m)) (medians_of_report serial_json)
   in
+  let sampling = Option.map scale (sampling_median_of_report serial_json) in
   if !write_mode then begin
     match !out with
-    | Some out -> write_baseline ~out medians
+    | Some out -> write_baseline ~out ~sampling medians
     | None -> usage ()
   end
   else begin
@@ -191,6 +216,35 @@ let () =
         if not (List.mem_assoc name medians) then
           fail "config %s in baseline but missing from report" name)
       base;
+    (* Check 3 (schema/2 reports): the baseline binary's median
+       sampled-profiling overhead at the default period, gated exactly
+       like the per-config overheads. *)
+    (match sampling with
+    | None -> ()
+    | Some s -> (
+        match
+          Minijson.(to_num (member "median_sampling_overhead_pct" base_json))
+        with
+        | b ->
+            let allowed =
+              Float.max 0.05 (!tolerance /. 100.0 *. Float.abs b)
+            in
+            let drift = Float.abs (s -. b) in
+            if drift <= allowed then
+              Printf.printf
+                "ok   %-12s median overhead %+.3f%% (baseline %+.3f%%, drift \
+                 %.3fpp <= %.3fpp)\n"
+                "sampling" s b drift allowed
+            else
+              fail
+                "sampling median overhead %+.3f%% drifted %.3fpp from \
+                 baseline %+.3f%% (allowed %.3fpp)"
+                s drift b allowed
+        | exception Minijson.Bad _ ->
+            fail
+              "sampled-profiling overhead measured but \
+               median_sampling_overhead_pct absent from baseline %s"
+              baseline_path));
     if !failed then begin
       print_endline
         "perf gate FAILED — if the change is intentional, regenerate \

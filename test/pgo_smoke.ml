@@ -1,0 +1,119 @@
+(* CI PGO smoke: the production profiling loop end to end on two
+   workloads.  Diversify, record sampled profiles of the diversified
+   binary on both inputs, persist them in the PSDPROF on-disk format,
+   reload and merge the recordings, retrain, re-diversify — then assert
+   the loop is at a fixed point: a recording of the retrained binary
+   does not materially drift from its own training profile, so the
+   drift gate keeps it and the redeployed image is byte-identical.
+   Exits 1 (failing the CI job) on any violation, and leaves the
+   .psdprof recordings plus a JSON summary behind as CI artifacts. *)
+
+let counter name = Metrics.counter_value (Metrics.counter name)
+let failures = ref 0
+
+let check what ok =
+  Printf.printf "%s %s\n" (if ok then "ok  " else "FAIL") what;
+  if not ok then incr failures
+
+let smoke_config = "p25-50"
+
+let run_workload ~profile_dir wname =
+  let w = Workloads.find wname in
+  let c = Driver.compile_cached ~name:w.Workload.name w.Workload.source in
+  let fresh = Driver.train c ~args:w.Workload.train_args in
+  let config = List.assoc smoke_config Config.paper_configs in
+  let diversify profile =
+    fst (Driver.diversify_linked c ~config ~profile ~version:0)
+  in
+  let record image args =
+    fst
+      (Driver.record_profile ~config:smoke_config image
+         ~workload:w.Workload.name ~args)
+  in
+  (* Deploy, record production profiles on both inputs, persist them. *)
+  let image0 = diversify fresh in
+  let path tag = Filename.concat profile_dir (wname ^ "." ^ tag ^ ".psdprof") in
+  Sprof.save (record image0 w.Workload.train_args) (path "train");
+  Sprof.save (record image0 w.Workload.ref_args) (path "ref");
+  (* Reload from disk and merge — the full format round-trip. *)
+  let merged = Sprof.merge (Sprof.load (path "train")) (Sprof.load (path "ref")) in
+  check
+    (wname ^ ": merged recording has sampled mass")
+    (Sprof.total_mass merged > 0.0 && List.length merged.Sprof.sources = 2);
+  (* Retrain and re-diversify from the sampled profile. *)
+  let profile = Driver.train_from_profile ~fresh c merged in
+  let image1 = diversify profile in
+  let baseline = Driver.link_baseline_cached c in
+  let r_base = Driver.run_image baseline ~args:w.Workload.ref_args in
+  let r1 = Driver.run_image image1 ~args:w.Workload.ref_args in
+  check
+    (wname ^ ": retrained binary output matches baseline")
+    (r1.Sim.output = r_base.Sim.output);
+  (* One more turn of the loop: the retrained binary's own recording
+     must not materially drift from its training profile, so the drift
+     gate keeps it and the loop is at a byte-level fixed point. *)
+  let kept0 = counter "pgo.retrain.kept" in
+  let merged1 =
+    Sprof.merge (record image1 w.Workload.train_args)
+      (record image1 w.Workload.ref_args)
+  in
+  let profile1 = Driver.train_from_profile ~previous:profile c merged1 in
+  let image2 = diversify profile1 in
+  check
+    (wname ^ ": drift gate kept the deployed profile")
+    (Int64.sub (counter "pgo.retrain.kept") kept0 = 1L);
+  check
+    (wname ^ ": loop at byte-level fixed point")
+    (String.equal image2.Link.text image1.Link.text);
+  let s = Sprof.staleness ~fresh merged in
+  Printf.printf "     %s: %Ld samples, %d rows, coverage %.1f%%, hot overlap \
+                 %.1f%%\n"
+    wname
+    (List.fold_left
+       (fun acc (src : Sprof.source) -> Int64.add acc src.Sprof.samples)
+       0L merged.Sprof.sources)
+    (Hashtbl.length merged.Sprof.rows)
+    s.Sprof.coverage_pct s.Sprof.hot_overlap_pct;
+  Jsonw.Obj
+    [
+      ("workload", Jsonw.Str wname);
+      ("config", Jsonw.Str smoke_config);
+      ("rows", Jsonw.int (Hashtbl.length merged.Sprof.rows));
+      ("coverage_pct", Jsonw.Float s.Sprof.coverage_pct);
+      ("hot_overlap_pct", Jsonw.Float s.Sprof.hot_overlap_pct);
+      ("mean_drift_pct", Jsonw.Float s.Sprof.mean_drift_pct);
+      ("fixed_point", Jsonw.Bool (String.equal image2.Link.text image1.Link.text));
+    ]
+
+let () =
+  let out = ref "pgo_smoke.json" in
+  let profile_dir = ref "." in
+  let specs =
+    [
+      ("--out", Arg.Set_string out, "FILE  write the JSON summary");
+      ( "--profile-dir",
+        Arg.Set_string profile_dir,
+        "DIR  where to leave the .psdprof recordings" );
+    ]
+  in
+  Arg.parse specs
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "pgo_smoke [--out FILE] [--profile-dir DIR]";
+  let rows =
+    List.map (run_workload ~profile_dir:!profile_dir) [ "429.mcf"; "470.lbm" ]
+  in
+  let j =
+    Jsonw.Obj
+      [
+        ("schema", Jsonw.Str "psd-pgo-smoke/1");
+        ("sample_period", Jsonw.int Sim.default_sample_period);
+        ("workloads", Jsonw.List rows);
+        ("ok", Jsonw.Bool (!failures = 0));
+      ]
+  in
+  let oc = open_out !out in
+  Jsonw.to_channel oc j;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "pgo smoke summary written to %s\n" !out;
+  if !failures > 0 then exit 1
