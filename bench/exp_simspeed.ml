@@ -1,0 +1,194 @@
+(* sim-speedup: the wall-clock differential benchmark of the block-cached
+   execution engine against the interpreter oracle (BENCH_PR8.json).
+
+   Per workload: run the undiversified baseline on the ref input under
+   both engines, assert the full observable tuple is identical (status,
+   output, retired instructions/NOPs, icache misses, and cycles bit for
+   bit), then time [runs] runs of each engine and keep the median wall
+   clock.  Speedup = interp median / block median; the headline is the
+   geometric mean across workloads, which the CI perf gate floors
+   (min_block_speedup in test/perf_baseline.json).
+
+   Timing is always serial — one run at a time in the parent process,
+   whatever --jobs says — because concurrent workers sharing cores would
+   corrupt the wall-clock readings.  The identity checks don't care, but
+   the numbers do.
+
+   The report ends with one scaled-up run: a workload input sized far
+   beyond the ref set (470.lbm at 25x the ref timestep count), executed
+   under the block engine only.  At interpreter speed this input costs
+   minutes; under the block engine it's an affordable bench cell — that
+   is the capability the speedup buys, so the report records it. *)
+
+let runs = 3
+
+(* The scaled-up input: 470.lbm's second argument is the timestep count
+   (ref input: 20 steps).  500 steps is ~25x the ref work. *)
+let scaled_name = "470.lbm"
+let scaled_args = [ 71l; 500l ]
+
+let time_once ~engine image ~args =
+  let t0 = Unix.gettimeofday () in
+  let r = Driver.run_image ~engine image ~args in
+  (r, Unix.gettimeofday () -. t0)
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let check_identical ~what (i : Sim.result) (b : Sim.result) =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m -> failwith (Printf.sprintf "sim-speedup: %s: %s" what m))
+      fmt
+  in
+  if b.Sim.status <> i.Sim.status then
+    fail "status mismatch (interp %ld, block %ld)" i.Sim.status b.Sim.status;
+  if b.Sim.output <> i.Sim.output then fail "output mismatch";
+  if b.Sim.instructions <> i.Sim.instructions then
+    fail "instruction count mismatch (interp %Ld, block %Ld)"
+      i.Sim.instructions b.Sim.instructions;
+  if b.Sim.nops_retired <> i.Sim.nops_retired then
+    fail "nops_retired mismatch (interp %Ld, block %Ld)" i.Sim.nops_retired
+      b.Sim.nops_retired;
+  if b.Sim.icache_misses <> i.Sim.icache_misses then
+    fail "icache_misses mismatch (interp %Ld, block %Ld)" i.Sim.icache_misses
+      b.Sim.icache_misses;
+  if Int64.bits_of_float b.Sim.cycles <> Int64.bits_of_float i.Sim.cycles then
+    fail "cycles not bit-identical (interp %h, block %h)" i.Sim.cycles
+      b.Sim.cycles
+
+type row = {
+  name : string;
+  instructions : int64;
+  interp_s : float;
+  block_s : float;
+  speedup : float;
+  block_minsn_s : float;  (* block engine throughput, M insns/s *)
+}
+
+let measure_row (p : Suite.prepared) =
+  let w = p.Suite.workload in
+  Trace.with_span "sim-speedup-workload"
+    ~args:[ ("workload", w.Workload.name) ]
+    (fun () ->
+      let args = w.Workload.ref_args in
+      (* Warm-up runs double as the identity check; the block run also
+         builds (or re-finds) the image's block cache, so the timed runs
+         below measure steady-state execution, not decode. *)
+      let ri, _ = time_once ~engine:Sim.Interp p.Suite.baseline ~args in
+      let rb, _ = time_once ~engine:Sim.Block p.Suite.baseline ~args in
+      check_identical ~what:w.Workload.name ri rb;
+      let timed engine =
+        median
+          (List.init runs (fun _ ->
+               snd (time_once ~engine p.Suite.baseline ~args)))
+      in
+      let interp_s = timed Sim.Interp in
+      let block_s = timed Sim.Block in
+      {
+        name = w.Workload.name;
+        instructions = ri.Sim.instructions;
+        interp_s;
+        block_s;
+        speedup = interp_s /. block_s;
+        block_minsn_s = Int64.to_float rb.Sim.instructions /. block_s /. 1e6;
+      })
+
+let run_scaled () =
+  match
+    List.find_opt
+      (fun (w : Workload.t) -> w.name = scaled_name)
+      (Suite.workloads ())
+  with
+  | None -> None (* --workloads excluded it; skip the scaled cell *)
+  | Some w ->
+      let p = Suite.prepared w in
+      let r, wall = time_once ~engine:Sim.Block p.Suite.baseline ~args:scaled_args in
+      Some (r, wall)
+
+let run () =
+  Format.printf
+    "@.Sim speedup: block-cached engine vs the interpreter oracle (median \
+     of %d runs@.per engine, ref inputs, serial timing)@."
+    runs;
+  Suite.hr Format.std_formatter;
+  let prepared = List.map Suite.prepared (Suite.workloads ()) in
+  Format.printf "%-16s %12s %10s %10s %8s %10s@." "workload" "insns"
+    "interp-s" "block-s" "speedup" "Minsn/s";
+  let rows =
+    List.filter_map
+      (fun p ->
+        match measure_row p with
+        | row ->
+            Format.printf "%-16s %12Ld %10.3f %10.4f %7.1fx %10.1f@." row.name
+              row.instructions row.interp_s row.block_s row.speedup
+              row.block_minsn_s;
+            Some row
+        | exception e ->
+            Suite.record_failure
+              ~cell:("sim-speedup/" ^ p.Suite.workload.Workload.name)
+              (Printexc.to_string e);
+            None)
+      prepared
+  in
+  Suite.hr Format.std_formatter;
+  let geomean = Stats.geomean_ratio (List.map (fun r -> r.speedup) rows) in
+  Format.printf "%-16s %52.1fx@." "Geometric Mean" geomean;
+  let scaled = run_scaled () in
+  (match scaled with
+  | None -> Format.printf "(scaled run skipped: %s not selected)@." scaled_name
+  | Some (r, wall) ->
+      Format.printf
+        "scaled: %s x%ld steps — %Ld insns in %.2fs under the block engine \
+         (est. %.0fs under interp)@."
+        scaled_name
+        (List.nth scaled_args 1)
+        r.Sim.instructions wall (wall *. geomean));
+  let json =
+    Jsonw.Obj
+      [
+        ("schema", Jsonw.Str "psd-bench-sim-speedup/1");
+        ("runs_per_engine", Jsonw.int runs);
+        ( "workloads",
+          Jsonw.List
+            (List.map
+               (fun row ->
+                 Jsonw.Obj
+                   [
+                     ("name", Jsonw.Str row.name);
+                     ("instructions", Jsonw.Int row.instructions);
+                     ("interp_wall_s", Jsonw.Float row.interp_s);
+                     ("block_wall_s", Jsonw.Float row.block_s);
+                     ("speedup", Jsonw.Float row.speedup);
+                     ("block_minsn_per_s", Jsonw.Float row.block_minsn_s);
+                   ])
+               rows) );
+        ("geomean_speedup", Jsonw.Float geomean);
+        ( "scaled",
+          match scaled with
+          | None -> Jsonw.Null
+          | Some (r, wall) ->
+              Jsonw.Obj
+                [
+                  ("name", Jsonw.Str scaled_name);
+                  ( "args",
+                    Jsonw.List
+                      (List.map
+                         (fun a -> Jsonw.int (Int32.to_int a))
+                         scaled_args) );
+                  ("instructions", Jsonw.Int r.Sim.instructions);
+                  ("cycles", Jsonw.Float r.Sim.cycles);
+                  ("block_wall_s", Jsonw.Float wall);
+                  ("est_interp_wall_s", Jsonw.Float (wall *. geomean));
+                ] );
+        ("metrics", Metrics.dump ());
+      ]
+  in
+  let out = !Suite.speedup_out in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Jsonw.to_channel oc json);
+  Format.printf "sim-speedup report written to %s@." out

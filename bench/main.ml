@@ -17,7 +17,9 @@
    BENCH_PR4.json, see --scaling-out); incremental writes the cold/warm
    rebuild report (default BENCH_PR5.json, see --incremental-out);
    pgo-loop writes the closed-loop stability report (default
-   BENCH_PR7.json, see --pgo-out).
+   BENCH_PR7.json, see --pgo-out); sim-speedup times the block-cached
+   engine against the interpreter oracle (default BENCH_PR8.json, see
+   --speedup-out; timing is serial regardless of --jobs).
    --jobs N|auto runs each
    experiment's workload grid on the parallel pool — reports are
    byte-identical at every -j.  Any failed cell or experiment is
@@ -38,13 +40,14 @@ let experiments =
     ("parallel-scaling", Exp_scaling.run);
     ("incremental", Exp_incremental.run);
     ("pgo-loop", Exp_pgo.run);
+    ("sim-speedup", Exp_simspeed.run);
   ]
 
 let usage () =
   Format.printf
     "usage: main.exe [--versions N] [--workloads A,B,..] [--jobs N|auto] \
      [--trace FILE] [--out FILE] [--scaling-out FILE] [--incremental-out \
-     FILE] [--pgo-out FILE] [experiment...]@.";
+     FILE] [--pgo-out FILE] [--speedup-out FILE] [experiment...]@.";
   Format.printf "experiments: %s@."
     (String.concat " " (List.map fst experiments));
   exit 1
@@ -92,6 +95,9 @@ let () =
         parse selected rest
     | "--pgo-out" :: file :: rest ->
         Suite.pgo_out := file;
+        parse selected rest
+    | "--speedup-out" :: file :: rest ->
+        Suite.speedup_out := file;
         parse selected rest
     | ("-h" | "--help") :: _ -> usage ()
     | name :: rest ->

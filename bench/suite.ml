@@ -48,6 +48,9 @@ let incremental_out = ref "BENCH_PR5.json"
 (* Where the PGO-loop experiment writes its report. *)
 let pgo_out = ref "BENCH_PR7.json"
 
+(* Where the sim-speedup experiment writes its report. *)
+let speedup_out = ref "BENCH_PR8.json"
+
 (* Worker count for the experiment grids (bench's --jobs flag).  Serial
    by default; the pool's serial path is the reference semantics, so
    "--jobs 1" and "--jobs N" produce byte-identical reports. *)

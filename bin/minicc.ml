@@ -310,6 +310,20 @@ let top_arg =
     & info [ "top" ] ~docv:"N"
         ~doc:"Truncate profile tables to the $(docv) hottest rows.")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("block", Sim.Block); ("interp", Sim.Interp) ])
+        Sim.default_engine
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: $(b,block) (default) pre-decodes .text into \
+           a block cache and executes compiled entries; $(b,interp) is \
+           the reference fetch-decode-execute interpreter, kept as the \
+           differential oracle.  Every observable — output, cycles, \
+           profiles, faults — is identical either way.")
+
 let die fmt =
   Format.kasprintf
     (fun msg ->
@@ -344,7 +358,7 @@ let print_sampled ?top image binary (r : Sim.result) =
       Format.printf "%a" (Sprof.pp ?top) sprof
 
 let run_cmd =
-  let run binary args sim_profile sample top trace =
+  let run binary args sim_profile sample engine top trace =
     with_trace trace (fun () ->
         let image = load_image binary in
         let r =
@@ -352,6 +366,7 @@ let run_cmd =
             Driver.run_image image
               ~profile:(sim_profile <> None)
               ?sample_period:(validate_period sample)
+              ~engine
               ~args:(parse_args args)
           with Sim.Fault msg ->
             Format.eprintf "minicc: fault: %s@." msg;
@@ -373,7 +388,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute a binary image in the CPU simulator.")
     Term.(
       const run $ source_arg $ args_arg $ sim_profile_arg $ sample_arg
-      $ top_arg $ trace_arg)
+      $ engine_arg $ top_arg $ trace_arg)
 
 (* ---- the profile group: the exact training path (default command) and
    the sampled production path (record / merge / show / diff) ---- *)
@@ -718,7 +733,7 @@ let workload_cmd =
   let ref_arg =
     Arg.(value & flag & info [ "ref" ] ~doc:"Use the ref input (default: train).")
   in
-  let run name use_ref sim_profile sample top trace =
+  let run name use_ref sim_profile sample engine top trace =
     with_trace trace (fun () ->
         let w = Workloads.find name in
         let c = Driver.compile ~name:w.Workload.name w.source in
@@ -728,7 +743,7 @@ let workload_cmd =
           Driver.run_image image
             ~profile:(sim_profile <> None)
             ?sample_period:(validate_period sample)
-            ~args
+            ~engine ~args
         in
         print_string r.Sim.output;
         Format.printf "[%s %s: status %ld, %Ld instructions]@." w.name
@@ -746,8 +761,8 @@ let workload_cmd =
   Cmd.v
     (Cmd.info "workload" ~doc:"Run a benchmark-suite program by name.")
     Term.(
-      const run $ name_arg $ ref_arg $ sim_profile_arg $ sample_arg $ top_arg
-      $ trace_arg)
+      const run $ name_arg $ ref_arg $ sim_profile_arg $ sample_arg
+      $ engine_arg $ top_arg $ trace_arg)
 
 let fuzz_cmd =
   let count_arg =

@@ -254,9 +254,9 @@ let population c ~config ~profile ~n =
 
 let run_ir c ~args = Interp.run c.modul ~entry:"main" ~args
 
-let run_image ?fuel ?profile ?sample_period image ~args =
+let run_image ?fuel ?profile ?sample_period ?engine image ~args =
   Trace.with_span "simulate" (fun () ->
-      Sim.run ?fuel ?profile ?sample_period image ~args)
+      Sim.run ?fuel ?profile ?sample_period ?engine image ~args)
 
 let record_profile ?fuel ?(sample_period = Sim.default_sample_period) ?config
     ?seed image ~workload ~args =

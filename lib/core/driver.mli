@@ -122,13 +122,15 @@ val run_image :
   ?fuel:int64 ->
   ?profile:bool ->
   ?sample_period:int ->
+  ?engine:Sim.engine ->
   Link.image ->
   args:int32 list ->
   Sim.result
 (** Execute a linked binary under the CPU simulator.  [profile] collects
     the per-offset runtime {!Sim.exec_profile} (see {!Simprof});
     [sample_period] additionally records a cycle-sampled
-    {!Sim.sample_profile} (see {!Sprof}). *)
+    {!Sim.sample_profile} (see {!Sprof}); [engine] selects the execution
+    engine (default: the block-cached engine; [Interp] is the oracle). *)
 
 val record_profile :
   ?fuel:int64 ->

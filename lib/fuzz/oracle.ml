@@ -2,14 +2,22 @@
 
    One generated program is executed under every oracle in the lattice
    (DESIGN.md): the reference interpreter at the bottom, the simulator on
-   the baseline binary above it, and the diversified binaries at the top —
-   each at every optimization level.  Observable behaviour (return value,
-   printed output, trap/no-trap) must agree up the lattice at a fixed
-   level; across levels, halting behaviours must agree while optimization
-   is allowed to delete trapping dead code.  On top of the behavioural
-   checks, every halting interpreter run is used to validate the edge
-   profiling machinery: the counts reconstructed from spanning-tree edge
-   counters must equal the interpreter's exact block counts. *)
+   the baseline binary above it — under *both* execution engines, the
+   fetch-decode interpreter and the block-cached engine — and the
+   diversified binaries at the top, each at every optimization level:
+   interp ⊑ sim ⊑ block-sim ⊑ diversified.  Observable behaviour (return
+   value, printed output, trap/no-trap) must agree up the lattice at a
+   fixed level; across levels, halting behaviours must agree while
+   optimization is allowed to delete trapping dead code.  The two
+   engines run every machine image (baseline and diversified) and must
+   agree on the *full* observable tuple — status, output, retired
+   instructions and NOPs, icache misses, cycles bit for bit, the
+   per-offset execution profile, and on a trap the fault message plus
+   every partial counter — with no skips: engine disagreement of any
+   kind is a divergence.  On top of the behavioural checks, every
+   halting interpreter run is used to validate the edge profiling
+   machinery: the counts reconstructed from spanning-tree edge counters
+   must equal the interpreter's exact block counts. *)
 
 type trap_class = Div | Mem | Resource | Other
 
@@ -121,10 +129,75 @@ let run_interp (c : Driver.compiled) ~args =
   | exception Interp.Trap msg ->
       (Trapped { cls = classify msg; msg }, None)
 
-let run_sim image ~args =
-  match Sim.run ~fuel:sim_fuel image ~args with
-  | r -> Halted { ret = r.status; output = r.output }
-  | exception Sim.Fault msg -> Trapped { cls = classify msg; msg }
+let run_sim ~engine image ~args =
+  match Sim.run_outcome ~fuel:sim_fuel ~profile:true ~engine image ~args with
+  | Sim.Finished r -> (Halted { ret = r.status; output = r.output }, Sim.Finished r)
+  | Sim.Faulted f ->
+      ( Trapped { cls = classify f.fault_msg; msg = f.fault_msg },
+        Sim.Faulted f )
+
+(* Engine parity: the block-cached engine against the simulator's
+   interpreter on the *same image* must agree on everything, not just the
+   behavioural outcome — equal fuel in equal units, equal timing model,
+   so there is no documented asymmetry to skip.  Cycles are compared bit
+   for bit, and the per-offset execution profile element-wise. *)
+
+let profile_mismatch (a : Sim.exec_profile) (b : Sim.exec_profile) =
+  if a.Sim.insn_counts <> b.Sim.insn_counts then Some "exec_profile insn_counts"
+  else if a.Sim.nop_counts <> b.Sim.nop_counts then
+    Some "exec_profile nop_counts"
+  else begin
+    let n = Array.length a.Sim.cycle_counts in
+    let bad = ref None in
+    for i = 0 to n - 1 do
+      if
+        !bad = None
+        && Int64.bits_of_float a.Sim.cycle_counts.(i)
+           <> Int64.bits_of_float b.Sim.cycle_counts.(i)
+      then bad := Some (Printf.sprintf "exec_profile cycles at offset %d" i)
+    done;
+    !bad
+  end
+
+let tuple_mismatch (a : Sim.result) (b : Sim.result) =
+  let d fmt = Printf.ksprintf Option.some fmt in
+  if a.Sim.status <> b.Sim.status then
+    d "status %ld vs %ld" a.Sim.status b.Sim.status
+  else if a.Sim.output <> b.Sim.output then
+    d "output %S vs %S" a.Sim.output b.Sim.output
+  else if a.Sim.instructions <> b.Sim.instructions then
+    d "instructions %Ld vs %Ld" a.Sim.instructions b.Sim.instructions
+  else if a.Sim.nops_retired <> b.Sim.nops_retired then
+    d "nops_retired %Ld vs %Ld" a.Sim.nops_retired b.Sim.nops_retired
+  else if a.Sim.icache_misses <> b.Sim.icache_misses then
+    d "icache_misses %Ld vs %Ld" a.Sim.icache_misses b.Sim.icache_misses
+  else if Int64.bits_of_float a.Sim.cycles <> Int64.bits_of_float b.Sim.cycles
+  then d "cycles %h vs %h" a.Sim.cycles b.Sim.cycles
+  else
+    match (a.Sim.exec_profile, b.Sim.exec_profile) with
+    | Some pa, Some pb -> profile_mismatch pa pb
+    | None, None -> None
+    | _ -> Some "exec_profile presence"
+
+let engines_agree (a : Sim.outcome) (b : Sim.outcome) =
+  match (a, b) with
+  | Sim.Finished x, Sim.Finished y -> (
+      match tuple_mismatch x y with
+      | None -> Agree
+      | Some m -> Diverged ("engine tuple mismatch: " ^ m))
+  | Sim.Faulted x, Sim.Faulted y ->
+      if x.fault_msg <> y.fault_msg then
+        Diverged
+          (Printf.sprintf "engine fault mismatch: %S vs %S" x.fault_msg
+             y.fault_msg)
+      else (
+        match tuple_mismatch x.partial y.partial with
+        | None -> Agree
+        | Some m -> Diverged ("engine tuple mismatch at fault: " ^ m))
+  | Sim.Finished _, Sim.Faulted f ->
+      Diverged ("block engine trapped, sim interp halted: " ^ f.fault_msg)
+  | Sim.Faulted f, Sim.Finished _ ->
+      Diverged ("sim interp trapped, block engine halted: " ^ f.fault_msg)
 
 (* ------------------------------------------------------------------ *)
 (* Profile invariant: for every function, reconstructing edge counts from
@@ -240,9 +313,13 @@ let check ?(levels = levels_all) ?(configs = Config.paper_configs)
           | None -> ());
           let baseline = Driver.link_baseline c in
           incr runs;
-          let os = run_sim baseline ~args in
+          let os, rs = run_sim ~engine:Sim.Interp baseline ~args in
           record_cmp ~left:("interp@" ^ ln) ~right:("sim@" ^ ln) oi os
             (exact oi os);
+          incr runs;
+          let ob, rbk = run_sim ~engine:Sim.Block baseline ~args in
+          record_cmp ~left:("sim@" ^ ln) ~right:("block-sim@" ^ ln) os ob
+            (engines_agree rs rbk);
           (* Diversified variants must be observationally identical to
              the baseline binary at the same level, for every paper
              config and several independent seeds. *)
@@ -258,11 +335,17 @@ let check ?(levels = levels_all) ?(configs = Config.paper_configs)
                   Driver.diversify c ~config ~profile ~version
                 in
                 incr runs;
-                let od = run_sim image ~args in
+                let od, rd = run_sim ~engine:Sim.Interp image ~args in
                 let right =
                   Printf.sprintf "sim@%s/%s/v%d" ln cname version
                 in
-                record_cmp ~left:("sim@" ^ ln) ~right os od (exact os od)
+                record_cmp ~left:("sim@" ^ ln) ~right os od (exact os od);
+                incr runs;
+                let _odb, rdb = run_sim ~engine:Sim.Block image ~args in
+                record_cmp ~left:right
+                  ~right:(Printf.sprintf "block-sim@%s/%s/v%d" ln cname version)
+                  od _odb
+                  (engines_agree rd rdb)
               done)
             configs)
         levels;

@@ -1,12 +1,19 @@
 (** Multi-oracle differential harness.
 
     Runs one MiniC program under every oracle in the equivalence lattice
-    (interp ⊑ sim ⊑ diversified sim — see DESIGN.md) at every requested
-    optimization level, and checks:
+    (interp ⊑ sim ⊑ block-sim ⊑ diversified — see DESIGN.md) at every
+    requested optimization level, and checks:
 
     - at a fixed level, the interpreter, the baseline binary under the
       simulator, and every diversified binary observe the same behaviour
       (return value, printed output, trap/no-trap);
+    - every machine image (baseline and diversified) executes under both
+      simulator engines — the fetch-decode interpreter and the
+      block-cached engine — which must agree on the full observable
+      tuple: status, output, retired instructions and NOPs, icache
+      misses, cycles bit for bit, the per-offset execution profile, and
+      on a trap the fault message and every partial counter.  Engine
+      disagreement is always a divergence, never a skip;
     - across levels, halting behaviours agree (optimization may delete
       dead trapping code, so a trap on one level against a halt on
       another is allowed);

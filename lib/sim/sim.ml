@@ -1,19 +1,31 @@
-type exec_profile = {
+(* The simulator front door: one validated entry point, two execution
+   engines.
+
+   [Interp] is the seed fetch-decode-execute interpreter, kept verbatim
+   below as the trusted differential oracle (the same pattern as
+   [Link.link_whole] vs [Link.link_objects]).  [Block] is the
+   block-cached engine in [Bsim]: decode-once/execute-many over
+   pre-compiled per-offset entries, byte-identical observables, roughly
+   an order of magnitude faster — and the default.  The decode memo is
+   owned by the block cache and shared with the interpreter, so repeated
+   runs of one image pay decode cost once regardless of engine. *)
+
+type exec_profile = Simcore.exec_profile = {
   insn_counts : int64 array;
   nop_counts : int64 array;
   cycle_counts : float array;
 }
 
-type sample_profile = {
+type sample_profile = Simcore.sample_profile = {
   period : float;
   sample_counts : int64 array;
   samples_taken : int64;
   sample_overhead_cycles : float;
 }
 
-let default_sample_period = 1000
+let default_sample_period = Simcore.default_sample_period
 
-type result = {
+type result = Simcore.result = {
   status : int32;
   output : string;
   instructions : int64;
@@ -24,14 +36,23 @@ type result = {
   sample_profile : sample_profile option;
 }
 
-exception Fault of string
+type outcome = Simcore.outcome =
+  | Finished of result
+  | Faulted of { fault_msg : string; partial : result }
 
-let fault fmt =
-  Format.kasprintf
-    (fun s ->
-      Metrics.incr (Metrics.counter "sim.faults");
-      raise (Fault s))
-    fmt
+exception Fault = Simcore.Fault
+
+let fault fmt = Simcore.fault fmt
+
+type engine = Interp | Block
+
+let default_engine = Block
+let engine_name = function Interp -> "interp" | Block -> "block"
+
+let engine_of_string = function
+  | "interp" -> Some Interp
+  | "block" -> Some Block
+  | _ -> None
 
 type state = {
   regs : int32 array; (* indexed by Reg.encode *)
@@ -43,7 +64,8 @@ type state = {
   mem : int32 array; (* data space, word-indexed, up to stack_top *)
   text : string;
   mutable eip : int; (* text offset *)
-  decoded : (Insn.t * int) option array; (* decode memo, per offset *)
+  decoded : (Insn.t * int) option array;
+      (* decode memo, owned by the block cache and shared across runs *)
   out : Buffer.t;
   model : Timing.model;
   icache_tags : int array;
@@ -473,7 +495,10 @@ let make_state ?(model = Timing.default) ?(profile = false) ?sample_period
     mem = Array.make (stack_top_i / 4) 0l;
     text = image.text;
     eip = image.entry;
-    decoded = Array.make (max 1 (String.length image.text)) None;
+    (* The decode memo belongs to the (shared, LRU'd) block cache:
+       repeated runs of one image — population grids, the PGO loop —
+       decode each offset once, whichever engine executes. *)
+    decoded = Bsim.decoded (Bsim.cache_for image model);
     out = Buffer.create 256;
     model;
     icache_tags = Array.make model.icache_lines (-1);
@@ -495,22 +520,26 @@ let init_data st (image : Link.image) =
       Array.iteri (fun i v -> st.mem.(base + i) <- v) words)
     image.data_init
 
-let finish st =
-  Metrics.incr (Metrics.counter "sim.runs");
-  Metrics.incr ~by:st.instructions (Metrics.counter "sim.instructions");
-  Metrics.incr ~by:st.nops (Metrics.counter "sim.nops_retired");
-  Metrics.incr ~by:st.misses (Metrics.counter "sim.icache_misses");
+let finish ~record st =
+  if record then begin
+    Metrics.incr (Metrics.counter "sim.runs");
+    Metrics.incr ~by:st.instructions (Metrics.counter "sim.instructions");
+    Metrics.incr ~by:st.nops (Metrics.counter "sim.nops_retired");
+    Metrics.incr ~by:st.misses (Metrics.counter "sim.icache_misses")
+  end;
   let sample_profile =
     match st.samp with
     | None -> None
     | Some s ->
-        Metrics.incr (Metrics.counter "sim.sampled_runs");
-        Metrics.incr ~by:s.s_taken (Metrics.counter "sim.samples");
-        let base = st.cycles -. s.s_overhead in
-        if base > 0.0 then
-          Metrics.observe
-            (Metrics.histogram "sim.sample_overhead_pct")
-            (100.0 *. s.s_overhead /. base);
+        if record then begin
+          Metrics.incr (Metrics.counter "sim.sampled_runs");
+          Metrics.incr ~by:s.s_taken (Metrics.counter "sim.samples");
+          let base = st.cycles -. s.s_overhead in
+          if base > 0.0 then
+            Metrics.observe
+              (Metrics.histogram "sim.sample_overhead_pct")
+              (100.0 *. s.s_overhead /. base)
+        end;
         Some
           {
             period = s.s_period;
@@ -530,38 +559,75 @@ let finish st =
     sample_profile;
   }
 
-let run ?model ?(fuel = Int64.shift_left 1L 40) ?profile ?sample_period
-    (image : Link.image) ~args =
+let interp_exec st : outcome =
+  match
+    while st.running do
+      step st
+    done
+  with
+  | () -> Finished (finish ~record:true st)
+  | exception Fault msg ->
+      Faulted { fault_msg = msg; partial = finish ~record:false st }
+
+let default_fuel = Int64.shift_left 1L 40
+
+let run_outcome ?model ?(fuel = default_fuel) ?profile ?sample_period
+    ?(engine = Block) (image : Link.image) ~args =
   if List.length args > Libc.argv_words then
     invalid_arg "Sim.run: too many arguments";
   if List.length args <> image.main_arity then
     invalid_arg
       (Printf.sprintf "Sim.run: main expects %d args, got %d" image.main_arity
          (List.length args));
-  let st = make_state ?model ?profile ?sample_period ~fuel image in
-  init_data st image;
-  (* Write the arguments where the entry stub looks for them. *)
-  let argv = Int32.to_int (Link.argv_address image) lsr 2 in
-  List.iteri (fun i v -> st.mem.(argv + i) <- v) args;
-  reg_set st Reg.ESP (Int32.sub Link.stack_top 16l);
-  while st.running do
-    step st
-  done;
-  finish st
+  (match sample_period with
+  | Some p when p <= 0 -> invalid_arg "Sim: sample_period must be positive"
+  | _ -> ());
+  match engine with
+  | Block -> Bsim.run_outcome ?model ~fuel ?profile ?sample_period image ~args
+  | Interp ->
+      let st = make_state ?model ?profile ?sample_period ~fuel image in
+      init_data st image;
+      (* Write the arguments where the entry stub looks for them. *)
+      let argv = Int32.to_int (Link.argv_address image) lsr 2 in
+      List.iteri (fun i v -> st.mem.(argv + i) <- v) args;
+      reg_set st Reg.ESP (Int32.sub Link.stack_top 16l);
+      interp_exec st
 
-let run_at ?model ?(fuel = Int64.shift_left 1L 40) ?profile
-    ?(stack_image = []) (image : Link.image) ~start_offset =
+let run ?model ?fuel ?profile ?sample_period ?engine (image : Link.image)
+    ~args =
+  match run_outcome ?model ?fuel ?profile ?sample_period ?engine image ~args
+  with
+  | Finished r -> r
+  | Faulted { fault_msg; _ } -> raise (Fault fault_msg)
+
+let run_at_outcome ?model ?(fuel = default_fuel) ?profile ?stack_image
+    ?(engine = Block) (image : Link.image) ~start_offset =
   if start_offset < 0 || start_offset >= String.length image.text then
     invalid_arg "Sim.run_at: start offset outside text";
-  let st = make_state ?model ?profile ~fuel image in
-  init_data st image;
-  let esp = Int32.sub Link.stack_top (Int32.of_int (16 + (4 * List.length stack_image))) in
-  reg_set st Reg.ESP esp;
-  List.iteri
-    (fun i v -> st.mem.((Int32.to_int esp lsr 2) + i) <- v)
-    stack_image;
-  st.eip <- start_offset;
-  while st.running do
-    step st
-  done;
-  finish st
+  match engine with
+  | Block ->
+      Bsim.run_at_outcome ?model ~fuel ?profile ?stack_image image
+        ~start_offset
+  | Interp ->
+      let stack_image = Option.value stack_image ~default:[] in
+      let st = make_state ?model ?profile ~fuel image in
+      init_data st image;
+      let esp =
+        Int32.sub Link.stack_top
+          (Int32.of_int (16 + (4 * List.length stack_image)))
+      in
+      reg_set st Reg.ESP esp;
+      List.iteri
+        (fun i v -> st.mem.((Int32.to_int esp lsr 2) + i) <- v)
+        stack_image;
+      st.eip <- start_offset;
+      interp_exec st
+
+let run_at ?model ?fuel ?profile ?stack_image ?engine (image : Link.image)
+    ~start_offset =
+  match
+    run_at_outcome ?model ?fuel ?profile ?stack_image ?engine image
+      ~start_offset
+  with
+  | Finished r -> r
+  | Faulted { fault_msg; _ } -> raise (Fault fault_msg)

@@ -9,10 +9,18 @@
     Syscalls ([INT 0x80]): EAX=1 exits with status EBX; EAX=4 writes the
     low byte of EBX to the output buffer.
 
-    Decoded instructions are memoized per text offset, so hot loops
-    execute without re-decoding. *)
+    Two engines execute the same machine: the [Block] engine (default)
+    runs from a pre-decoded block cache ({!Bsim}: decode-once/
+    execute-many, flattened per-insn costs, native-int machine state),
+    and [Interp] is the original fetch-decode-execute interpreter, kept
+    as the trusted differential oracle.  Their observables — cycles (bit
+    for bit), fault messages, profiles, sampled recordings — are
+    byte-identical; the equivalence suite and the fuzz oracle lattice
+    enforce it.  The decode memo is owned by the shared block cache, so
+    repeated runs of one image decode each offset once under either
+    engine. *)
 
-type exec_profile = {
+type exec_profile = Simcore.exec_profile = {
   insn_counts : int64 array;
       (** per text offset: instructions retired from that offset *)
   nop_counts : int64 array;
@@ -26,7 +34,7 @@ type exec_profile = {
     nonzero).  {!Simprof} maps it back through the image's layout symbols
     to per-function and per-block attributions. *)
 
-type sample_profile = {
+type sample_profile = Simcore.sample_profile = {
   period : float;  (** cycles between samples, as configured *)
   sample_counts : int64 array;
       (** per text offset: PC samples attributed there *)
@@ -47,7 +55,7 @@ val default_sample_period : int
     run recovers the hot set.  The CI perf gate pins the overhead at
     this period. *)
 
-type result = {
+type result = Simcore.result = {
   status : int32;  (** exit status (main's return value) *)
   output : string;
   instructions : int64;  (** retired instructions *)
@@ -60,16 +68,35 @@ type result = {
       (** present iff the run was started with [~sample_period] *)
 }
 
+type outcome = Simcore.outcome =
+  | Finished of result
+  | Faulted of { fault_msg : string; partial : result }
+      (** The run trapped; [partial] carries the machine counters at the
+          faulting instruction (cycles, retired instructions, output so
+          far) — both engines must agree on all of them, which the
+          trap-parity tests pin. *)
+
 exception Fault of string
 (** Machine fault: undecodable bytes at EIP, data access out of bounds or
     unaligned, division error, control transfer outside text, stack
     overflow, or fuel exhaustion. *)
+
+type engine =
+  | Interp  (** the seed interpreter — the differential oracle *)
+  | Block  (** the block-cached engine (default) *)
+
+val default_engine : engine
+val engine_name : engine -> string
+
+val engine_of_string : string -> engine option
+(** ["interp"] / ["block"]. *)
 
 val run :
   ?model:Timing.model ->
   ?fuel:int64 ->
   ?profile:bool ->
   ?sample_period:int ->
+  ?engine:engine ->
   Link.image ->
   args:int32 list ->
   result
@@ -82,14 +109,32 @@ val run :
     off.  [sample_period] (off by default) additionally records a PC
     sample every that many retired cycles into a {!sample_profile},
     charging {!Timing.model.sample_cost} cycles per sample to the run —
-    production-style profiling with a modeled overhead.  Raises
-    [Invalid_argument] if [sample_period <= 0]. *)
+    production-style profiling with a modeled overhead.  [engine]
+    selects the execution engine (default [Block]); results are
+    byte-identical either way.  Raises [Invalid_argument] if
+    [sample_period <= 0]. *)
+
+val run_outcome :
+  ?model:Timing.model ->
+  ?fuel:int64 ->
+  ?profile:bool ->
+  ?sample_period:int ->
+  ?engine:engine ->
+  Link.image ->
+  args:int32 list ->
+  outcome
+(** Like {!run}, but a trap returns [Faulted] carrying the partial
+    counters at the faulting instruction instead of raising — the
+    trap-parity tests compare these across engines.  Successful-run
+    metrics are recorded exactly as {!run} does; faulted runs bump only
+    [sim.faults], matching {!run}'s behavior. *)
 
 val run_at :
   ?model:Timing.model ->
   ?fuel:int64 ->
   ?profile:bool ->
   ?stack_image:int32 list ->
+  ?engine:engine ->
   Link.image ->
   start_offset:int ->
   result
@@ -98,3 +143,14 @@ val run_at :
     first element at ESP — the ROP-chain entry point used by the attack
     experiments).  Execution ends at the exit syscall, at [Hlt], or on a
     fault. *)
+
+val run_at_outcome :
+  ?model:Timing.model ->
+  ?fuel:int64 ->
+  ?profile:bool ->
+  ?stack_image:int32 list ->
+  ?engine:engine ->
+  Link.image ->
+  start_offset:int ->
+  outcome
+(** {!run_at}, trap-as-value. *)

@@ -1,0 +1,44 @@
+(* Types and faults shared by the two execution engines: the reference
+   interpreter ([Sim]'s original loop, kept as the differential oracle)
+   and the block-cached engine ([Bsim]).  Both must produce these exact
+   records byte for byte — the equivalence suite compares them field by
+   field, cycles included. *)
+
+type exec_profile = {
+  insn_counts : int64 array;
+  nop_counts : int64 array;
+  cycle_counts : float array;
+}
+
+type sample_profile = {
+  period : float;
+  sample_counts : int64 array;
+  samples_taken : int64;
+  sample_overhead_cycles : float;
+}
+
+let default_sample_period = 1000
+
+type result = {
+  status : int32;
+  output : string;
+  instructions : int64;
+  nops_retired : int64;
+  cycles : float;
+  icache_misses : int64;
+  exec_profile : exec_profile option;
+  sample_profile : sample_profile option;
+}
+
+type outcome =
+  | Finished of result
+  | Faulted of { fault_msg : string; partial : result }
+
+exception Fault of string
+
+let fault fmt =
+  Format.kasprintf
+    (fun s ->
+      Metrics.incr (Metrics.counter "sim.faults");
+      raise (Fault s))
+    fmt

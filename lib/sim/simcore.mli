@@ -1,0 +1,43 @@
+(** Result types and the fault exception shared by both execution
+    engines (the reference interpreter in {!Sim} and the block-cached
+    engine in {!Bsim}).  {!Sim} re-exports all of these with type
+    equations, so client code never needs this module directly. *)
+
+type exec_profile = {
+  insn_counts : int64 array;
+  nop_counts : int64 array;
+  cycle_counts : float array;
+}
+
+type sample_profile = {
+  period : float;
+  sample_counts : int64 array;
+  samples_taken : int64;
+  sample_overhead_cycles : float;
+}
+
+val default_sample_period : int
+
+type result = {
+  status : int32;
+  output : string;
+  instructions : int64;
+  nops_retired : int64;
+  cycles : float;
+  icache_misses : int64;
+  exec_profile : exec_profile option;
+  sample_profile : sample_profile option;
+}
+
+type outcome =
+  | Finished of result
+  | Faulted of { fault_msg : string; partial : result }
+      (** The run trapped mid-flight; [partial] carries the machine
+          counters (cycles, retired instructions, output so far) at the
+          faulting instruction — what the trap-parity tests pin. *)
+
+exception Fault of string
+
+val fault : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Format a fault message, bump the [sim.faults] counter, and raise
+    {!Fault}. *)

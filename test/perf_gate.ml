@@ -1,6 +1,6 @@
 (* The CI perf-regression gate.
 
-   Two checks against a bench telemetry report (BENCH*.json):
+   Checks against bench reports (BENCH*.json):
 
    1. Determinism: the report produced with --jobs auto must be
       byte-identical to the one produced with --jobs 1.  Any drift means
@@ -15,23 +15,35 @@
       (baseline.sampling_overhead_pct); its median is gated the same
       way, so the production-profiling cost cannot creep past its
       committed baseline unnoticed.
+   3. Engine speedup (with --speedup): the sim-speedup report's geomean
+      block-vs-interp wall-clock speedup must stay at or above the
+      baseline's min_block_speedup key.  Wall clock is machine-dependent
+      where the modeled medians are not, so this one is a *floor*, not a
+      drift band: the committed floor carries enough headroom for
+      machine variance, and only a structural slowdown of the block
+      engine (or a structural speedup of the oracle) can cross it.
 
    Modes:
 
      perf_gate --serial S.json --parallel P.json --baseline B.json
-               [--tolerance-pct T] [--inject-slowdown-pct P]
-     perf_gate --write-baseline --serial S.json -o B.json
+               [--speedup SP.json] [--tolerance-pct T]
+               [--inject-slowdown-pct P]
+     perf_gate --write-baseline --serial S.json [--speedup SP.json] -o B.json
 
-   --inject-slowdown-pct scales the measured medians before comparing —
-   the gate's own CI self-test proves a 10% slowdown is caught.
+   --inject-slowdown-pct scales the measured medians (and divides the
+   measured speedup) before comparing — the gate's own CI self-test
+   proves a 10% slowdown and a 30%-slower block engine are caught.
    --write-baseline regenerates the snapshot after an intentional
-   performance change (see DESIGN.md for the policy). *)
+   performance change (see DESIGN.md for the policy); the speedup floor
+   is written with 20% headroom below the measured geomean. *)
 
 let usage () =
   prerr_endline
     "usage: perf_gate --serial S.json --parallel P.json --baseline B.json\n\
-    \                 [--tolerance-pct T] [--inject-slowdown-pct P]\n\
-    \       perf_gate --write-baseline --serial S.json -o B.json";
+    \                 [--speedup SP.json] [--tolerance-pct T]\n\
+    \                 [--inject-slowdown-pct P]\n\
+    \       perf_gate --write-baseline --serial S.json [--speedup SP.json] \
+     -o B.json";
   exit 2
 
 let read_file path =
@@ -90,7 +102,15 @@ let parse_report path text =
       Printf.printf "FAIL %s is not valid JSON: %s\n" path msg;
       exit 1
 
-let write_baseline ~out ~sampling medians =
+(* geomean_speedup of a sim-speedup report (BENCH_PR8.json). *)
+let speedup_of_report json =
+  match Minijson.(to_num (member "geomean_speedup" json)) with
+  | v -> v
+  | exception Minijson.Bad msg ->
+      Printf.printf "FAIL speedup report: %s\n" msg;
+      exit 1
+
+let write_baseline ~out ~sampling ~speedup medians =
   let oc = open_out out in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -100,6 +120,13 @@ let write_baseline ~out ~sampling medians =
       | None -> ()
       | Some s ->
           Printf.fprintf oc "  \"median_sampling_overhead_pct\": %.6f,\n" s);
+      (match speedup with
+      | None -> ()
+      | Some g ->
+          (* The floor, not the measurement: 20% headroom under the
+             measured geomean absorbs machine-to-machine wall-clock
+             variance. *)
+          Printf.fprintf oc "  \"min_block_speedup\": %.1f,\n" (0.8 *. g));
       output_string oc "  \"median_overhead_pct\": {\n";
       List.iteri
         (fun i (name, m) ->
@@ -114,6 +141,7 @@ let () =
   let serial = ref None
   and parallel = ref None
   and baseline = ref None
+  and speedup_file = ref None
   and out = ref None
   and tolerance = ref 2.0
   and inject = ref 0.0
@@ -128,6 +156,9 @@ let () =
         parse rest
     | "--baseline" :: v :: rest ->
         baseline := Some v;
+        parse rest
+    | "--speedup" :: v :: rest ->
+        speedup_file := Some v;
         parse rest
     | "-o" :: v :: rest ->
         out := Some v;
@@ -156,9 +187,17 @@ let () =
     List.map (fun (name, m) -> (name, scale m)) (medians_of_report serial_json)
   in
   let sampling = Option.map scale (sampling_median_of_report serial_json) in
+  (* An injected slowdown of the block engine *divides* its speedup. *)
+  let speedup =
+    Option.map
+      (fun path ->
+        speedup_of_report (parse_report path (read_file path))
+        /. (1.0 +. (!inject /. 100.0)))
+      !speedup_file
+  in
   if !write_mode then begin
     match !out with
-    | Some out -> write_baseline ~out ~sampling medians
+    | Some out -> write_baseline ~out ~sampling ~speedup medians
     | None -> usage ()
   end
   else begin
@@ -244,6 +283,25 @@ let () =
             fail
               "sampled-profiling overhead measured but \
                median_sampling_overhead_pct absent from baseline %s"
+              baseline_path));
+    (* Check 4 (with --speedup): the block engine's geomean wall-clock
+       speedup over the interpreter oracle must stay above the floor. *)
+    (match speedup with
+    | None -> ()
+    | Some g -> (
+        match Minijson.(to_num (member "min_block_speedup" base_json)) with
+        | floor ->
+            if g >= floor then
+              Printf.printf
+                "ok   block engine geomean speedup %.1fx >= floor %.1fx\n" g
+                floor
+            else
+              fail
+                "block engine geomean speedup %.1fx fell below the %.1fx \
+                 floor"
+                g floor
+        | exception Minijson.Bad _ ->
+            fail "speedup measured but min_block_speedup absent from baseline %s"
               baseline_path));
     if !failed then begin
       print_endline
