@@ -11,7 +11,7 @@
 
    Experiments: table1 figure4 table2 table3 php-attack heuristic
    ablation micro fuzz-coverage telemetry parallel-scaling incremental
-   pgo-loop.
+   pgo-loop serve.
    The telemetry experiment writes the machine-readable report (default
    BENCH_PR2.json, see --out); parallel-scaling writes its own (default
    BENCH_PR4.json, see --scaling-out); incremental writes the cold/warm
@@ -41,13 +41,15 @@ let experiments =
     ("incremental", Exp_incremental.run);
     ("pgo-loop", Exp_pgo.run);
     ("sim-speedup", Exp_simspeed.run);
+    ("serve", Exp_serve.run);
   ]
 
 let usage () =
   Format.printf
     "usage: main.exe [--versions N] [--workloads A,B,..] [--jobs N|auto] \
      [--trace FILE] [--out FILE] [--scaling-out FILE] [--incremental-out \
-     FILE] [--pgo-out FILE] [--speedup-out FILE] [experiment...]@.";
+     FILE] [--pgo-out FILE] [--speedup-out FILE] [--serve-out FILE] \
+     [--serve-population N] [experiment...]@.";
   Format.printf "experiments: %s@."
     (String.concat " " (List.map fst experiments));
   exit 1
@@ -99,6 +101,15 @@ let () =
     | "--speedup-out" :: file :: rest ->
         Suite.speedup_out := file;
         parse selected rest
+    | "--serve-out" :: file :: rest ->
+        Suite.serve_out := file;
+        parse selected rest
+    | "--serve-population" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v > 0 ->
+            Suite.serve_population := v;
+            parse selected rest
+        | _ -> usage ())
     | ("-h" | "--help") :: _ -> usage ()
     | name :: rest ->
         if List.mem_assoc name experiments then parse (name :: selected) rest

@@ -51,6 +51,11 @@ let pgo_out = ref "BENCH_PR7.json"
 (* Where the sim-speedup experiment writes its report. *)
 let speedup_out = ref "BENCH_PR8.json"
 
+(* Where the variant-serving experiment writes its report, and how many
+   versions its population-at-scale survivor run builds. *)
+let serve_out = ref "BENCH_PR9.json"
+let serve_population = ref 1000
+
 (* Worker count for the experiment grids (bench's --jobs flag).  Serial
    by default; the pool's serial path is the reference semantics, so
    "--jobs 1" and "--jobs N" produce byte-identical reports. *)

@@ -57,21 +57,9 @@ let parse_args s =
       (String.split_on_char ',' s)
 
 let parse_config name =
-  match List.assoc_opt name Config.paper_configs with
-  | Some c -> c
-  | None -> (
-      (* also accept "uniform:0.4" and "range:0.1:0.5" *)
-      match String.split_on_char ':' name with
-      | [ "uniform"; p ] -> Config.uniform (float_of_string p)
-      | [ "range"; lo; hi ] ->
-          Config.profiled ~pmin:(float_of_string lo)
-            ~pmax:(float_of_string hi) ()
-      | _ ->
-          failwith
-            (Printf.sprintf
-               "unknown config %S (use p50 p30 p25-50 p10-50 p0-30, \
-                uniform:P or range:LO:HI)"
-               name))
+  (* paper names, "off"/"baseline", "uniform:P" and "range:LO:HI" —
+     the same spec grammar serve requests carry over the wire. *)
+  match Config.of_spec name with Ok c -> c | Error e -> failwith e
 
 (* How to build: an optimization pipeline plus verification policy,
    assembled from --opt-level / -O0/-O1/-O2 / --passes / --verify-each. *)
@@ -764,6 +752,14 @@ let workload_cmd =
       const run $ name_arg $ ref_arg $ sim_profile_arg $ sample_arg
       $ engine_arg $ top_arg $ trace_arg)
 
+let jobs_conv =
+  Arg.conv
+    ( (fun s ->
+        match Pool.jobs_of_string s with
+        | Ok j -> Ok j
+        | Error msg -> Error (`Msg msg)),
+      fun ppf j -> Format.pp_print_string ppf (Pool.jobs_to_string j) )
+
 let fuzz_cmd =
   let count_arg =
     Arg.(
@@ -799,14 +795,6 @@ let fuzz_cmd =
           ~doc:"Diversified versions per configuration (default 3).")
   in
   let jobs_arg =
-    let jobs_conv =
-      Arg.conv
-        ( (fun s ->
-            match Pool.jobs_of_string s with
-            | Ok j -> Ok j
-            | Error msg -> Error (`Msg msg)),
-          fun ppf j -> Format.pp_print_string ppf (Pool.jobs_to_string j) )
-    in
     Arg.(
       value
       & opt jobs_conv (Pool.Jobs 1)
@@ -851,6 +839,260 @@ let fuzz_cmd =
       const run $ count_arg $ seed_arg $ shrink_arg $ out_arg $ versions_arg
       $ jobs_arg $ trace_arg)
 
+(* ---- the variant-serving daemon and its load generator ---- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "psd-serve.sock"
+    & info [ "s"; "socket" ] ~docv:"ADDR"
+        ~doc:
+          "Socket address: a Unix-domain socket path (default \
+           $(b,psd-serve.sock)) or $(b,tcp:HOST:PORT).")
+
+let parse_addr spec =
+  match Sdaemon.addr_of_spec spec with Ok a -> a | Error e -> die "%s" e
+
+let serve_cmd =
+  let jobs_arg =
+    Arg.(
+      value
+      & opt jobs_conv (Pool.Jobs 1)
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker processes for the per-batch variant fan-out ($(docv) \
+             or $(b,auto)); returned digests are byte-identical at every \
+             setting.")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Bounded-queue capacity: requests arriving beyond $(docv) \
+             pending are shed immediately with a Shed reply.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Max requests prepared and fanned out per pool run.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Shed any request that waited longer than $(docv) in the \
+             queue ($(b,0) disables).")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-event log lines.")
+  in
+  let run socket jobs queue_cap batch timeout quiet trace =
+    with_trace trace (fun () ->
+        let addr = parse_addr socket in
+        let cfg =
+          {
+            (Sdaemon.default_cfg addr) with
+            Sdaemon.jobs;
+            queue_cap;
+            batch;
+            timeout_s = timeout;
+            log =
+              (if quiet then ignore
+               else fun line -> Format.eprintf "serve: %s@." line);
+          }
+        in
+        try Sdaemon.run cfg
+        with Unix.Unix_error (e, fn, arg) ->
+          die "cannot serve on %s: %s (%s %s)" socket (Unix.error_message e)
+            fn arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the variant-serving daemon: a long-lived process that keeps \
+          the function store and training profiles warm and answers \
+          (workload, config, seed-range) requests with freshly-seeded \
+          diversified images.")
+    Term.(
+      const run $ socket_arg $ jobs_arg $ queue_cap_arg $ batch_arg
+      $ timeout_arg $ quiet_arg $ trace_arg)
+
+let serve_client_cmd =
+  let requests_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "requests" ] ~docv:"N" ~doc:"Trace length (default 10).")
+  in
+  let versions_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "versions-per-request" ] ~docv:"N"
+          ~doc:"Width of each request's version window (default 5).")
+  in
+  let space_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "version-space" ] ~docv:"N"
+          ~doc:
+            "Version windows are drawn from $(b,0..N-1); smaller spaces \
+             revisit versions more, exercising the warm path (default \
+             100).")
+  in
+  let workloads_arg =
+    Arg.(
+      value
+      & opt string "473.astar,401.bzip2"
+      & info [ "workloads" ] ~docv:"NAMES"
+          ~doc:"Comma-separated workload names the trace draws from.")
+  in
+  let config_arg =
+    Arg.(
+      value & opt string "p0-30"
+      & info [ "config" ] ~docv:"SPEC"
+          ~doc:"Configuration spec sent with every request.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int64 1L
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Trace seed: the whole request trace is a function of it.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Check every returned digest against a serial in-process \
+             oracle build, and decode + re-hash any returned image.")
+  in
+  let images_arg =
+    Arg.(
+      value & flag
+      & info [ "images" ] ~doc:"Request full images, not just digests.")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ] ~docv:"DIR"
+          ~doc:
+            "With $(b,--images), write each returned image to \
+             $(docv)/<workload>.v<version>.bin — files $(b,minicc run) \
+             executes directly.")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print daemon statistics after the replay.")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the daemon to exit when done.")
+  in
+  let run socket requests versions_per_request version_space workloads config
+      seed verify images dump stats shutdown trace =
+    with_trace trace (fun () ->
+        let addr = parse_addr socket in
+        let fd =
+          try Sclient.connect ~retry_for:10.0 addr
+          with Unix.Unix_error (e, _, _) ->
+            die "cannot connect to %s: %s" socket (Unix.error_message e)
+        in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let trace_reqs =
+              if requests = 0 then []
+              else
+                Sclient.trace ~seed
+                  ~workloads:
+                    (List.filter
+                       (fun s -> s <> "")
+                       (List.map String.trim
+                          (String.split_on_char ',' workloads)))
+                  ~config ~requests ~versions_per_request ~version_space
+                  ~want_images:(images || dump <> None)
+            in
+            (match dump with
+            | Some dir when not (Sys.file_exists dir) ->
+                Unix.mkdir dir 0o755
+            | _ -> ());
+            let on_built (b : Sproto.built) =
+              match dump with
+              | None -> ()
+              | Some dir ->
+                  List.iter
+                    (fun (v : Sproto.variant) ->
+                      match v.Sproto.image with
+                      | None -> ()
+                      | Some bytes ->
+                          let path =
+                            Filename.concat dir
+                              (Printf.sprintf "%s.v%d.bin" b.Sproto.workload
+                                 v.Sproto.version)
+                          in
+                          let oc = open_out_bin path in
+                          output_string oc bytes;
+                          close_out oc)
+                    b.Sproto.variants
+            in
+            let report =
+              try Sclient.replay ~verify ~on_built fd trace_reqs
+              with Failure msg -> die "%s" msg
+            in
+            Format.printf
+              "replayed %d request(s): %d built (%d variants), %d shed, %d \
+               errors in %.2fs@."
+              report.Sclient.requests report.Sclient.built
+              report.Sclient.variants report.Sclient.shed
+              report.Sclient.errors report.Sclient.wall_s;
+            Format.printf
+              "  lowering runs %d, store hits %d, store misses %d@."
+              report.Sclient.lowering_runs report.Sclient.store_hits
+              report.Sclient.store_misses;
+            if verify then
+              if report.Sclient.digest_mismatches = 0 then
+                Format.printf "  digests match the serial oracle@."
+              else begin
+                Format.printf "  %d DIGEST MISMATCH(ES) vs the oracle@."
+                  report.Sclient.digest_mismatches;
+                exit 1
+              end;
+            if stats then begin
+              let s = try Sclient.stats fd with Failure msg -> die "%s" msg in
+              Format.printf
+                "daemon: %Ld requests, %Ld variants built, %Ld shed, %Ld \
+                 errors@."
+                s.Sproto.requests s.Sproto.built_variants s.Sproto.shed
+                s.Sproto.errors;
+              List.iteri
+                (fun i (sh : Store.shard_stats) ->
+                  if sh.Store.entries > 0 || sh.Store.hits > 0 then
+                    Format.printf
+                      "  shard %2d: %d entries, %d hits, %d misses, %d \
+                       evictions@."
+                      i sh.Store.entries sh.Store.hits sh.Store.misses
+                      sh.Store.evicts)
+                s.Sproto.shards
+            end;
+            if shutdown then
+              try Sclient.shutdown fd with Failure msg -> die "%s" msg))
+  in
+  Cmd.v
+    (Cmd.info "serve-client"
+       ~doc:
+         "Replay a seeded request trace against a running $(b,minicc \
+          serve) daemon, optionally verifying every returned digest \
+          against a serial in-process oracle.")
+    Term.(
+      const run $ socket_arg $ requests_arg $ versions_arg $ space_arg
+      $ workloads_arg $ config_arg $ seed_arg $ verify_arg $ images_arg
+      $ dump_arg $ stats_arg $ shutdown_arg $ trace_arg)
+
 let () =
   let doc = "profile-guided software diversity compiler (CGO'13 reproduction)" in
   let info = Cmd.info "minicc" ~version:"1.0" ~doc in
@@ -879,5 +1121,5 @@ let () =
           [
             compile_cmd; link_cmd; run_cmd; profile_cmd; diversify_cmd;
             gadgets_cmd; survivor_cmd; attack_cmd; disas_cmd; workload_cmd;
-            fuzz_cmd;
+            fuzz_cmd; serve_cmd; serve_client_cmd;
           ]))

@@ -47,3 +47,31 @@ let name t =
         (match scope with `Function -> "-fn" | `Program -> ""))
   ^ (if t.use_xchg then "+xchg" else "")
   ^ if t.bb_shift then "+shift" else ""
+
+(* The one config grammar every entry point shares: minicc's --config,
+   the serve protocol's request field, and the bench harness all resolve
+   specs here, so a daemon and its clients can never disagree about what
+   a name means. *)
+let of_spec spec =
+  match List.assoc_opt spec paper_configs with
+  | Some c -> Ok c
+  | None -> (
+      if spec = "off" || spec = "baseline" then Ok off
+      else
+        match String.split_on_char ':' spec with
+        | [ "uniform"; p ] -> (
+            match float_of_string_opt p with
+            | Some p when p >= 0.0 && p <= 1.0 -> Ok (uniform p)
+            | _ -> Error (Printf.sprintf "uniform: bad probability %S" p))
+        | [ "range"; lo; hi ] -> (
+            match (float_of_string_opt lo, float_of_string_opt hi) with
+            | Some pmin, Some pmax
+              when pmin >= 0.0 && pmax <= 1.0 && pmin <= pmax ->
+                Ok (profiled ~pmin ~pmax ())
+            | _ -> Error (Printf.sprintf "range: bad bounds %S:%S" lo hi))
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "unknown config %S (use p50 p30 p25-50 p10-50 p0-30, off, \
+                  uniform:P or range:LO:HI)"
+                 spec))

@@ -38,6 +38,12 @@ val paper_configs : (string * t) list
 (** The five configurations of Figure 4 / Tables 2–3, in paper order:
     ["p50"], ["p30"], ["p25-50"], ["p10-50"], ["p0-30"]. *)
 
+val of_spec : string -> (t, string) result
+(** Resolve a configuration spec: a paper-config name (["p0-30"]),
+    ["off"]/["baseline"], ["uniform:P"], or ["range:LO:HI"].  The one
+    grammar shared by [minicc --config], the serve protocol and the
+    bench harness.  The error names the offending spec. *)
+
 val name : t -> string
 (** Short display name, e.g. "p10-50".  Injective over behaviour-relevant
     fields: per-function scope appends ["-fn"], the XCHG candidates

@@ -279,14 +279,30 @@ let user_text image =
 let magic = "PSDIMAGE"
 let format_version = 3
 
-let save image path =
-  Frame.write ~magic ~version:format_version
-    ~payload:(Marshal.to_string image []) path
+let to_bytes image =
+  Frame.to_string ~magic ~version:format_version
+    ~payload:(Marshal.to_string image [])
 
-let load path =
+let of_bytes ~src framed =
   let payload =
-    Frame.read ~magic ~version:format_version ~what:"PSD image" path
+    Frame.of_string ~magic ~version:format_version ~what:"PSD image" ~src
+      framed
   in
   match (Marshal.from_string payload 0 : image) with
   | image -> image
-  | exception _ -> failwith (path ^ ": corrupt PSD image file (bad payload)")
+  | exception _ -> failwith (src ^ ": corrupt PSD image (bad payload)")
+
+let save image path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_bytes image))
+
+let load path =
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_bytes ~src:path contents

@@ -86,9 +86,20 @@ val format_version : int
 (** Image-file format version (see {!Frame}); bumped whenever the
     marshalled [image] layout changes. *)
 
+val to_bytes : image -> string
+(** The image in its framed on-disk representation: magic,
+    format-version field, marshalled payload and a payload-digest
+    trailer ({!Frame.to_string}).  What {!save} writes, and what the
+    serve protocol ships — a client can dump the bytes to a file and
+    {!load} them. *)
+
+val of_bytes : src:string -> string -> image
+(** Inverse of {!to_bytes}; [src] names the origin (a path, a network
+    peer) in errors.  Raises [Failure] on bad magic, a format-version
+    mismatch, truncation or corruption. *)
+
 val save : image -> string -> unit
-(** Write an image to a file: magic, format-version field, marshalled
-    payload and a payload-digest trailer ({!Frame.write}). *)
+(** Write {!to_bytes} to a file. *)
 
 val load : string -> image
 (** Inverse of {!save}.  Raises [Failure] on bad magic, a format-version

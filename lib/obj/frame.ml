@@ -1,9 +1,14 @@
-(* The on-disk container every binary artifact (object units, linked
-   images) is wrapped in: a fixed magic, an explicit format-version
-   field, the marshalled payload, and an MD5 digest trailer over the
-   payload.  A stale, truncated or bit-flipped file fails with a clear
-   [Failure] naming the file and the problem, never with a Marshal
-   segfault or silent garbage. *)
+(* The container every binary artifact (object units, linked images,
+   profile recordings, serve-protocol messages) is wrapped in: a fixed
+   magic, an explicit format-version field, the payload, and an MD5
+   digest trailer over the payload.  A stale, truncated or bit-flipped
+   artifact fails with a clear [Failure] naming the source and the
+   problem, never with a Marshal segfault or silent garbage.
+
+   The string codecs ([to_string]/[of_string]) are the primitive; the
+   file functions wrap them.  The serve daemon frames every socket
+   message the same way, so a corrupted request fails with exactly the
+   same taxonomy of errors as a corrupted object file. *)
 
 let digest_len = 16
 let version_len = 4
@@ -22,16 +27,40 @@ let get_u32 s pos =
   lor (Char.code s.[pos + 2] lsl 16)
   lor (Char.code s.[pos + 3] lsl 24)
 
-let write ~magic ~version ~payload path =
-  let buf = Buffer.create (header_len magic + String.length payload + digest_len) in
+let to_string ~magic ~version ~payload =
+  let buf =
+    Buffer.create (header_len magic + String.length payload + digest_len)
+  in
   Buffer.add_string buf magic;
   put_u32 buf version;
   Buffer.add_string buf payload;
   Buffer.add_string buf (Digest.string payload);
+  Buffer.contents buf
+
+let of_string ~magic ~version ~what ~src contents =
+  let mlen = String.length magic in
+  if String.length contents < mlen || String.sub contents 0 mlen <> magic then
+    failwith (Printf.sprintf "%s: not a %s (bad magic)" src what);
+  if String.length contents < header_len magic + digest_len then
+    failwith (Printf.sprintf "%s: truncated %s" src what);
+  let file_version = get_u32 contents mlen in
+  if file_version <> version then
+    failwith
+      (Printf.sprintf "%s: %s format version %d, this build reads version %d"
+         src what file_version version);
+  let payload_len = String.length contents - header_len magic - digest_len in
+  let payload = String.sub contents (header_len magic) payload_len in
+  let trailer = String.sub contents (header_len magic + payload_len) digest_len in
+  if not (String.equal (Digest.string payload) trailer) then
+    failwith (Printf.sprintf "%s: corrupt %s (payload digest mismatch)" src what);
+  payload
+
+let write ~magic ~version ~payload path =
+  let framed = to_string ~magic ~version ~payload in
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> Buffer.output_buffer oc buf)
+    (fun () -> output_string oc framed)
 
 let read ~magic ~version ~what path =
   let contents =
@@ -40,20 +69,4 @@ let read ~magic ~version ~what path =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let mlen = String.length magic in
-  if String.length contents < mlen || String.sub contents 0 mlen <> magic then
-    failwith (Printf.sprintf "%s: not a %s file (bad magic)" path what);
-  if String.length contents < header_len magic + digest_len then
-    failwith (Printf.sprintf "%s: truncated %s file" path what);
-  let file_version = get_u32 contents mlen in
-  if file_version <> version then
-    failwith
-      (Printf.sprintf "%s: %s format version %d, this build reads version %d"
-         path what file_version version);
-  let payload_len = String.length contents - header_len magic - digest_len in
-  let payload = String.sub contents (header_len magic) payload_len in
-  let trailer = String.sub contents (header_len magic + payload_len) digest_len in
-  if not (String.equal (Digest.string payload) trailer) then
-    failwith
-      (Printf.sprintf "%s: corrupt %s file (payload digest mismatch)" path what);
-  payload
+  of_string ~magic ~version ~what:(what ^ " file") ~src:path contents

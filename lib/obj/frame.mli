@@ -1,10 +1,23 @@
-(** Versioned, digest-checked file framing for binary artifacts.
+(** Versioned, digest-checked framing for binary artifacts.
 
-    Layout: [magic | version (u32 LE) | payload | MD5(payload)].  Both
-    the object format ({!Objfile}) and the linked-image format
-    ({!Link.save}) use this container, so every loader distinguishes
-    "not this kind of file", "produced by an incompatible build" and
-    "truncated or corrupted" with a precise [Failure]. *)
+    Layout: [magic | version (u32 LE) | payload | MD5(payload)].  The
+    object format ({!Objfile}), the linked-image format ({!Link.save}),
+    the profile-recording format ({!Sprof.save}) and the serve daemon's
+    socket protocol all use this container, so every decoder
+    distinguishes "not this kind of artifact", "produced by an
+    incompatible build" and "truncated or corrupted" with a precise
+    [Failure]. *)
+
+val to_string : magic:string -> version:int -> payload:string -> string
+(** [to_string ~magic ~version ~payload] is the framed byte string. *)
+
+val of_string :
+  magic:string -> version:int -> what:string -> src:string -> string -> string
+(** [of_string ~magic ~version ~what ~src s] decodes a framed byte
+    string back to its payload.  Raises [Failure] — naming [src] (a
+    path, or a peer description for socket frames) and [what] (e.g.
+    ["PSD object file"], ["serve request"]) — on bad magic, version
+    mismatch, truncation, or a digest mismatch. *)
 
 val write : magic:string -> version:int -> payload:string -> string -> unit
 (** [write ~magic ~version ~payload path] frames [payload] and writes it
@@ -12,5 +25,5 @@ val write : magic:string -> version:int -> payload:string -> string -> unit
 
 val read : magic:string -> version:int -> what:string -> string -> string
 (** [read ~magic ~version ~what path] returns the payload.  Raises
-    [Failure] — naming [path] and [what] (e.g. ["PSD object"]) — on bad
-    magic, version mismatch, truncation, or a digest mismatch. *)
+    [Failure] — naming [path] and [what ^ " file"] — exactly as
+    {!of_string} does. *)

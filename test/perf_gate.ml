@@ -23,27 +23,41 @@
       machine variance, and only a structural slowdown of the block
       engine (or a structural speedup of the oracle) can cross it.
 
+   4. Serve warm-path ratio (with --serve): the serve report's
+      warm-over-cold variants/sec ratio at -j 1 must stay at or above
+      the baseline's min_warm_variants_per_sec_ratio key.  Like the
+      engine speedup this is a wall-clock *floor* with headroom, not a
+      drift band: if the daemon's warm path stops being warm (a cache
+      key regression, an eviction storm), the ratio collapses toward 1
+      and crosses it.
+
    Modes:
 
      perf_gate --serial S.json --parallel P.json --baseline B.json
-               [--speedup SP.json] [--tolerance-pct T]
+               [--speedup SP.json] [--serve SV.json] [--tolerance-pct T]
                [--inject-slowdown-pct P]
-     perf_gate --write-baseline --serial S.json [--speedup SP.json] -o B.json
+     perf_gate --write-baseline --serial S.json [--speedup SP.json]
+               [--serve SV.json] -o B.json
 
    --inject-slowdown-pct scales the measured medians (and divides the
-   measured speedup) before comparing — the gate's own CI self-test
-   proves a 10% slowdown and a 30%-slower block engine are caught.
+   measured speedup and serve ratio) before comparing — the gate's own
+   CI self-test proves a 10% slowdown, a 30%-slower block engine and a
+   50%-slower warm serve path are caught.
    --write-baseline regenerates the snapshot after an intentional
    performance change (see DESIGN.md for the policy); the speedup floor
-   is written with 20% headroom below the measured geomean. *)
+   is written with 20% headroom below the measured geomean, the serve
+   ratio floor with 50% headroom below the measured ratio (cold/warm
+   wall clocks vary more across machines than their quotient's
+   structure suggests). *)
 
 let usage () =
   prerr_endline
     "usage: perf_gate --serial S.json --parallel P.json --baseline B.json\n\
-    \                 [--speedup SP.json] [--tolerance-pct T]\n\
+    \                 [--speedup SP.json] [--serve SV.json] [--tolerance-pct \
+     T]\n\
     \                 [--inject-slowdown-pct P]\n\
     \       perf_gate --write-baseline --serial S.json [--speedup SP.json] \
-     -o B.json";
+     [--serve SV.json] -o B.json";
   exit 2
 
 let read_file path =
@@ -110,7 +124,15 @@ let speedup_of_report json =
       Printf.printf "FAIL speedup report: %s\n" msg;
       exit 1
 
-let write_baseline ~out ~sampling ~speedup medians =
+(* warm_cold_ratio of a serve report (BENCH_PR9.json). *)
+let serve_ratio_of_report json =
+  match Minijson.(to_num (member "warm_cold_ratio" json)) with
+  | v -> v
+  | exception Minijson.Bad msg ->
+      Printf.printf "FAIL serve report: %s\n" msg;
+      exit 1
+
+let write_baseline ~out ~sampling ~speedup ~serve medians =
   let oc = open_out out in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -127,6 +149,13 @@ let write_baseline ~out ~sampling ~speedup medians =
              measured geomean absorbs machine-to-machine wall-clock
              variance. *)
           Printf.fprintf oc "  \"min_block_speedup\": %.1f,\n" (0.8 *. g));
+      (match serve with
+      | None -> ()
+      | Some r ->
+          (* 50% headroom: the cold and warm wall clocks are both
+             machine-dependent, so their ratio gets the widest band. *)
+          Printf.fprintf oc "  \"min_warm_variants_per_sec_ratio\": %.1f,\n"
+            (Float.max 1.1 (0.5 *. r)));
       output_string oc "  \"median_overhead_pct\": {\n";
       List.iteri
         (fun i (name, m) ->
@@ -142,6 +171,7 @@ let () =
   and parallel = ref None
   and baseline = ref None
   and speedup_file = ref None
+  and serve_file = ref None
   and out = ref None
   and tolerance = ref 2.0
   and inject = ref 0.0
@@ -159,6 +189,9 @@ let () =
         parse rest
     | "--speedup" :: v :: rest ->
         speedup_file := Some v;
+        parse rest
+    | "--serve" :: v :: rest ->
+        serve_file := Some v;
         parse rest
     | "-o" :: v :: rest ->
         out := Some v;
@@ -195,9 +228,17 @@ let () =
         /. (1.0 +. (!inject /. 100.0)))
       !speedup_file
   in
+  (* So does an injected slowdown of the serve daemon's warm path. *)
+  let serve =
+    Option.map
+      (fun path ->
+        serve_ratio_of_report (parse_report path (read_file path))
+        /. (1.0 +. (!inject /. 100.0)))
+      !serve_file
+  in
   if !write_mode then begin
     match !out with
-    | Some out -> write_baseline ~out ~sampling ~speedup medians
+    | Some out -> write_baseline ~out ~sampling ~speedup ~serve medians
     | None -> usage ()
   end
   else begin
@@ -302,6 +343,30 @@ let () =
                 g floor
         | exception Minijson.Bad _ ->
             fail "speedup measured but min_block_speedup absent from baseline %s"
+              baseline_path));
+    (* Check 5 (with --serve): the daemon's warm-over-cold throughput
+       ratio must stay above the floor — below it, the warm path is no
+       longer warm. *)
+    (match serve with
+    | None -> ()
+    | Some r -> (
+        match
+          Minijson.(to_num (member "min_warm_variants_per_sec_ratio" base_json))
+        with
+        | floor ->
+            if r >= floor then
+              Printf.printf
+                "ok   serve warm/cold throughput ratio %.1fx >= floor %.1fx\n"
+                r floor
+            else
+              fail
+                "serve warm/cold throughput ratio %.1fx fell below the %.1fx \
+                 floor"
+                r floor
+        | exception Minijson.Bad _ ->
+            fail
+              "serve ratio measured but min_warm_variants_per_sec_ratio \
+               absent from baseline %s"
               baseline_path));
     if !failed then begin
       print_endline
